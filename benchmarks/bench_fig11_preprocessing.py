@@ -1,0 +1,38 @@
+"""Figure 11 — preprocessing time for policy encoding.
+
+Paper: encoding time grows linearly in the number of users (11a) and in
+the number of policies per user (11b), and stays low in absolute terms
+(about 10 s for 100 K users on the authors' 2.53 GHz Xeon).
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig11a_encoding_time_vs_users(benchmark, preset):
+    rows = run_once(benchmark, lambda: experiments.fig11a_encoding_vs_users(preset))
+    table = SeriesTable(
+        f"Figure 11(a): policy-encoding time vs number of users [{preset.name}]",
+        ["users", "seconds"],
+    )
+    for row in rows:
+        table.add_row(row["n_users"], row["seconds"])
+    table.print()
+    record_series(benchmark, rows, ["n_users", "seconds"])
+    # Shape check: time grows with the population.
+    assert rows[-1]["seconds"] > rows[0]["seconds"]
+
+
+def test_fig11b_encoding_time_vs_policies(benchmark, preset):
+    rows = run_once(benchmark, lambda: experiments.fig11b_encoding_vs_policies(preset))
+    table = SeriesTable(
+        f"Figure 11(b): policy-encoding time vs policies per user [{preset.name}]",
+        ["policies", "seconds"],
+    )
+    for row in rows:
+        table.add_row(row["n_policies"], row["seconds"])
+    table.print()
+    record_series(benchmark, rows, ["n_policies", "seconds"])
+    assert rows[-1]["seconds"] > rows[0]["seconds"]

@@ -1,0 +1,43 @@
+"""Figure 12 — effect of the total number of users.
+
+Paper: the PEB-tree yields much less I/O than the spatial index for both
+PRQ (12a) and PkNN (12b); the gap widens with data size (about 10x at
+100 K users).
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig12a_prq_io_vs_users(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig12_vs_users(preset, cache))
+    table = SeriesTable(
+        f"Figure 12(a): PRQ I/O vs number of users [{preset.name}]",
+        ["users", "PEB-tree", "spatial index", "speedup"],
+    )
+    for row in rows:
+        speedup = row["prq_base"] / max(row["prq_peb"], 1e-9)
+        table.add_row(row["n_users"], row["prq_peb"], row["prq_base"], speedup)
+    table.print()
+    record_series(benchmark, rows, ["n_users", "prq_peb", "prq_base"])
+    # Shape checks: PEB wins everywhere; baseline grows with N.
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+    assert rows[-1]["prq_base"] > rows[0]["prq_base"]
+
+
+def test_fig12b_pknn_io_vs_users(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig12_vs_users(preset, cache))
+    table = SeriesTable(
+        f"Figure 12(b): PkNN I/O vs number of users [{preset.name}]",
+        ["users", "PEB-tree", "spatial index", "speedup"],
+    )
+    for row in rows:
+        speedup = row["knn_base"] / max(row["knn_peb"], 1e-9)
+        table.add_row(row["n_users"], row["knn_peb"], row["knn_base"], speedup)
+    table.print()
+    record_series(benchmark, rows, ["n_users", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

@@ -1,0 +1,46 @@
+"""Figure 13 — effect of the number of policies per user.
+
+Paper: the PEB-tree's cost grows mildly with the policy count (more
+qualifying users per query), while the spatial index is flat (it never
+looks at policies) yet far more expensive throughout.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig13a_prq_io_vs_policies(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig13_vs_policies(preset, cache))
+    table = SeriesTable(
+        f"Figure 13(a): PRQ I/O vs policies per user [{preset.name}]",
+        ["policies", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["n_policies"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["n_policies", "prq_peb", "prq_base"])
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+    # PEB cost grows with the policy count; the baseline stays roughly
+    # flat (same location workload regardless of policies).
+    assert rows[-1]["prq_peb"] > rows[0]["prq_peb"]
+    spread = max(row["prq_base"] for row in rows) / max(
+        min(row["prq_base"] for row in rows), 1e-9
+    )
+    assert spread < 2.0
+
+
+def test_fig13b_pknn_io_vs_policies(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig13_vs_policies(preset, cache))
+    table = SeriesTable(
+        f"Figure 13(b): PkNN I/O vs policies per user [{preset.name}]",
+        ["policies", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["n_policies"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["n_policies", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

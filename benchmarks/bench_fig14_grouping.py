@@ -1,0 +1,41 @@
+"""Figure 14 — effect of the grouping factor θ.
+
+Paper: the PEB-tree's cost tends to decrease as θ grows (better-grouped
+users give more effective sequence values), while the spatial index is
+unaffected by θ.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig14a_prq_io_vs_grouping(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig14_vs_grouping(preset, cache))
+    table = SeriesTable(
+        f"Figure 14(a): PRQ I/O vs grouping factor [{preset.name}]",
+        ["theta", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["theta"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["theta", "prq_peb", "prq_base"])
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+    # Well-grouped (θ=1) must beat ungrouped (θ=0) on the PEB-tree.
+    assert rows[-1]["prq_peb"] < rows[0]["prq_peb"]
+
+
+def test_fig14b_pknn_io_vs_grouping(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig14_vs_grouping(preset, cache))
+    table = SeriesTable(
+        f"Figure 14(b): PkNN I/O vs grouping factor [{preset.name}]",
+        ["theta", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["theta"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["theta", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

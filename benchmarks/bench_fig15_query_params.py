@@ -1,0 +1,45 @@
+"""Figure 15 — effect of the location-related query parameters.
+
+Paper: the PEB-tree's PRQ cost is almost constant in the window size —
+"no matter how large the query window is, the maximum number of users to
+be checked by the PEB-tree is bounded by the total number of users
+related to the query issuer" — while the spatial index grows with the
+window.  PkNN cost is similarly stable in k for the PEB-tree.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig15a_prq_io_vs_window(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig15a_vs_window(preset, cache))
+    table = SeriesTable(
+        f"Figure 15(a): PRQ I/O vs query window side [{preset.name}]",
+        ["window", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["window"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["window", "prq_peb", "prq_base"])
+    # Baseline grows with the window; PEB stays bounded by the friend
+    # list (allow generous slack for buffer noise).
+    assert rows[-1]["prq_base"] > 2.0 * rows[0]["prq_base"]
+    assert rows[-1]["prq_peb"] < 4.0 * max(rows[0]["prq_peb"], 1.0)
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+
+
+def test_fig15b_pknn_io_vs_k(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig15b_vs_k(preset, cache))
+    table = SeriesTable(
+        f"Figure 15(b): PkNN I/O vs k [{preset.name}]",
+        ["k", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["k"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["k", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

@@ -1,0 +1,44 @@
+"""Figure 16 — effect of the spatial distribution (network data).
+
+Paper: on network-based datasets with 25..500 destinations the PEB-tree
+beats the spatial index in all cases; its cost barely reacts to the
+number of destinations because location is not the dominant key
+component.  Destination count 0 denotes the uniform dataset.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig16a_prq_io_vs_destinations(benchmark, preset, cache):
+    rows = run_once(
+        benchmark, lambda: experiments.fig16_vs_destinations(preset, cache)
+    )
+    table = SeriesTable(
+        f"Figure 16(a): PRQ I/O vs destinations (0 = uniform) [{preset.name}]",
+        ["destinations", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["destinations"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["destinations", "prq_peb", "prq_base"])
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+
+
+def test_fig16b_pknn_io_vs_destinations(benchmark, preset, cache):
+    rows = run_once(
+        benchmark, lambda: experiments.fig16_vs_destinations(preset, cache)
+    )
+    table = SeriesTable(
+        f"Figure 16(b): PkNN I/O vs destinations (0 = uniform) [{preset.name}]",
+        ["destinations", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["destinations"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["destinations", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

@@ -1,0 +1,43 @@
+"""Figure 17 — effect of the maximum object speed.
+
+Paper: the spatial index's cost increases slightly with speed (larger
+window enlargement), while the PEB-tree is relatively stable because its
+location constraint is dominated by policy compatibility.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig17a_prq_io_vs_speed(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig17_vs_speed(preset, cache))
+    table = SeriesTable(
+        f"Figure 17(a): PRQ I/O vs maximum speed [{preset.name}]",
+        ["max speed", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["max_speed"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["max_speed", "prq_peb", "prq_base"])
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+    # Baseline reacts to speed more than the PEB-tree does.
+    base_growth = rows[-1]["prq_base"] - rows[0]["prq_base"]
+    peb_growth = rows[-1]["prq_peb"] - rows[0]["prq_peb"]
+    assert base_growth > peb_growth
+
+
+def test_fig17b_pknn_io_vs_speed(benchmark, preset, cache):
+    rows = run_once(benchmark, lambda: experiments.fig17_vs_speed(preset, cache))
+    table = SeriesTable(
+        f"Figure 17(b): PkNN I/O vs maximum speed [{preset.name}]",
+        ["max speed", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["max_speed"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["max_speed", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

@@ -1,0 +1,44 @@
+"""Figure 18 — effect of updates on query performance.
+
+Paper: query costs of both approaches only fluctuate slightly as the
+data set is updated (25% per step until fully updated twice); both
+indexes share the Bx-tree base structure, and the fluctuations come from
+how entries spread across time partitions.
+"""
+
+from repro.bench import experiments
+from repro.bench.reporting import SeriesTable
+
+from benchmarks.conftest import record_series, run_once
+
+
+def test_fig18a_prq_io_vs_updates(benchmark, preset):
+    rows = run_once(benchmark, lambda: experiments.fig18_vs_updates(preset))
+    table = SeriesTable(
+        f"Figure 18(a): PRQ I/O vs %% of data updated [{preset.name}]",
+        ["updated %", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["updated_pct"], row["prq_peb"], row["prq_base"])
+    table.print()
+    record_series(benchmark, rows, ["updated_pct", "prq_peb", "prq_base"])
+    for row in rows:
+        assert row["prq_peb"] < row["prq_base"]
+    # Fluctuation, not growth: the last measurement stays within a small
+    # factor of the first for both approaches.
+    assert rows[-1]["prq_peb"] < 4.0 * max(rows[0]["prq_peb"], 1.0)
+    assert rows[-1]["prq_base"] < 4.0 * max(rows[0]["prq_base"], 1.0)
+
+
+def test_fig18b_pknn_io_vs_updates(benchmark, preset):
+    rows = run_once(benchmark, lambda: experiments.fig18_vs_updates(preset))
+    table = SeriesTable(
+        f"Figure 18(b): PkNN I/O vs %% of data updated [{preset.name}]",
+        ["updated %", "PEB-tree", "spatial index"],
+    )
+    for row in rows:
+        table.add_row(row["updated_pct"], row["knn_peb"], row["knn_base"])
+    table.print()
+    record_series(benchmark, rows, ["updated_pct", "knn_peb", "knn_base"])
+    for row in rows:
+        assert row["knn_peb"] < row["knn_base"]

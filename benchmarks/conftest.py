@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and
+figure of the paper's evaluation.  Scale is selected by the
+``REPRO_SCALE`` environment variable (``reduced`` default, ``paper`` for
+Table 1 verbatim); see ``repro.bench.experiments`` and EXPERIMENTS.md.
+
+Harnesses are cached per session: figures that share a configuration
+(e.g. 12(a) and 12(b)) build their indexes once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import HarnessCache, scale_preset
+
+
+@pytest.fixture(scope="session")
+def preset():
+    return scale_preset()
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return HarnessCache()
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments measure I/O deterministically; repeating them only
+    burns wall-clock, so rounds and iterations are pinned to one.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def record_series(benchmark, rows, keys):
+    """Attach a series to the benchmark's extra_info for the JSON export."""
+    benchmark.extra_info["series"] = [
+        {key: row[key] for key in keys if key in row} for row in rows
+    ]

@@ -1,0 +1,113 @@
+"""Friend finder: the paper's running example as an application.
+
+A social location app where every user grants visibility only to chosen
+peers under spatio-temporal conditions.  One user asks "where are my
+nearest visible friends right now?" — the PkNN query of Definition 3.
+
+The script builds the PEB-tree and the spatial-index + filter baseline
+over the same population and contrasts their I/O on the same queries,
+reproducing the effect of Figures 4 and 6: the baseline crawls outward
+through *all* nearby users (most of whom hide from the issuer), while
+the PEB-tree jumps straight to index regions where friends can be.
+
+Run with::
+
+    python examples/friend_finder.py
+"""
+
+import random
+
+from repro import (
+    BufferPool,
+    BxTree,
+    Grid,
+    PEBTree,
+    PolicyGenerator,
+    SimulatedDisk,
+    SpatialFilterBaseline,
+    TimePartitioner,
+    UniformMovement,
+    assign_sequence_values,
+    pknn,
+)
+
+SPACE_SIDE = 1000.0
+N_USERS = 3000
+POLICIES_PER_USER = 25
+QUERY_BUFFER_PAGES = 50  # the paper's LRU buffer
+
+
+def build_population(seed=3):
+    rng = random.Random(seed)
+    movement = UniformMovement(SPACE_SIDE, max_speed=3.0, rng=rng)
+    users = movement.initial_objects(N_USERS, t=0.0)
+    states = {user.uid: user for user in users}
+
+    policy_gen = PolicyGenerator(SPACE_SIDE, 1440.0, random.Random(seed + 1))
+    store = policy_gen.generate(sorted(states), POLICIES_PER_USER, grouping_factor=0.7)
+    report = assign_sequence_values(sorted(states), store, SPACE_SIDE**2)
+    store.set_sequence_values(report.sequence_values)
+    return users, states, store
+
+
+def main():
+    users, states, store = build_population()
+    grid = Grid(SPACE_SIDE, bits=10)
+    partitioner = TimePartitioner(120.0, 2)
+
+    peb_pool = BufferPool(SimulatedDisk(), capacity=4096)
+    peb = PEBTree(peb_pool, grid, partitioner, store)
+    bx_pool = BufferPool(SimulatedDisk(), capacity=4096)
+    bx = BxTree(bx_pool, grid, partitioner)
+    baseline = SpatialFilterBaseline(bx, store)
+    for user in users:
+        peb.insert(user)
+        bx.insert(user)
+    print(f"indexed {N_USERS} users in both structures")
+
+    # Measure a batch of friend-finder queries under the paper's buffer.
+    rng = random.Random(42)
+    issuers = rng.sample(sorted(states), 15)
+    t_query = 5.0
+    k = 3
+
+    for pool in (peb_pool, bx_pool):
+        pool.flush()
+        pool.resize(QUERY_BUFFER_PAGES)
+        pool.stats.reset()
+
+    print(f"\nfinding each user's {k} nearest visible friends at t={t_query}:\n")
+    header = f"{'user':>6} {'friends found':>14} {'nearest':>22}"
+    print(header)
+    print("-" * len(header))
+    for issuer in issuers:
+        qx, qy = states[issuer].position_at(t_query)
+        answer = pknn(peb, issuer, qx, qy, k, t_query)
+        base_answer = baseline.knn_query(issuer, qx, qy, k, t_query)
+        assert [uid for _, uid in [(d, o.uid) for d, o in answer.neighbors]] == [
+            obj.uid for _, obj in base_answer
+        ] or [round(d, 6) for d, _ in answer.neighbors] == [
+            round(d, 6) for d, _ in base_answer
+        ], "the two approaches must agree"
+        nearest = (
+            f"user {answer.neighbors[0][1].uid} @ {answer.neighbors[0][0]:.1f}"
+            if answer.neighbors
+            else "(nobody visible)"
+        )
+        print(f"{issuer:>6} {len(answer.neighbors):>14} {nearest:>22}")
+
+    peb_io = peb_pool.stats.physical_reads / len(issuers)
+    base_io = bx_pool.stats.physical_reads / len(issuers)
+    print(
+        f"\naverage I/O per query: PEB-tree {peb_io:.1f} pages, "
+        f"spatial index + filter {base_io:.1f} pages "
+        f"({base_io / max(peb_io, 0.01):.1f}x)"
+    )
+    print(
+        "the baseline examines every nearby user regardless of policies —\n"
+        "exactly the inefficiency the PEB-tree removes (Sections 4 and 5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The offline environment carries setuptools 65 without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build a
+wheel.  This shim lets both ``pip install -e . --no-build-isolation`` (which
+falls back to this file via ``setup.py develop``) and a plain
+``python setup.py develop`` work without network access.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Experiment harness: workload assembly, I/O measurement, reporting.
+
+* :mod:`repro.bench.oracle` — brute-force evaluators of PRQ/PkNN used as
+  the correctness ground truth everywhere;
+* :mod:`repro.bench.harness` — builds the PEB-tree and the spatial-filter
+  baseline over one shared workload and measures average I/O per query
+  under the paper's 50-page LRU buffer;
+* :mod:`repro.bench.experiments` — per-figure parameter sweeps;
+* :mod:`repro.bench.reporting` — plain-text series tables;
+* :mod:`repro.bench.report` — the EXPERIMENTS.md generator with
+  automatic paper-vs-measured shape verdicts.
+"""
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness, QueryCosts
+from repro.bench.oracle import brute_force_pknn, brute_force_prq
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentHarness",
+    "QueryCosts",
+    "brute_force_pknn",
+    "brute_force_prq",
+]

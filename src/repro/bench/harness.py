@@ -1,0 +1,298 @@
+"""Experiment harness (Section 7.1 settings).
+
+One harness instance owns a complete experiment: a movement workload, a
+policy store with encoded sequence values, a PEB-tree, and the Bx-tree +
+filter baseline — each index on its own simulated disk.  Indexes are
+built with a generous build buffer (builds are not part of the reported
+numbers); before each query batch the pools are flushed and resized to
+the paper's 50-page LRU buffer and the physical-read counters zeroed, so
+the reported figure is the paper's "average I/O cost of N queries".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.bench.oracle import brute_force_pknn, brute_force_prq
+from repro.bxtree.filter_baseline import SpatialFilterBaseline
+from repro.bxtree.tree import BxTree
+from repro.core.peb_tree import PEBTree
+from repro.core.pknn import pknn
+from repro.core.prq import prq
+from repro.core.sequencing import EncodingReport, assign_sequence_values
+from repro.motion.objects import MovingObject
+from repro.motion.partitions import TimePartitioner
+from repro.spatial.curves import make_curve
+from repro.spatial.grid import Grid
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.workloads.network import NetworkMovement
+from repro.workloads.policies import PolicyGenerator
+from repro.workloads.queries import QueryGenerator
+from repro.workloads.uniform import UniformMovement
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one experiment; defaults follow Table 1.
+
+    The paper-scale defaults (60 K users, 50 policies, 200 queries) are
+    expensive in pure Python; the benchmark suite scales them down
+    proportionally unless ``REPRO_SCALE=paper`` (see benchmarks/).
+    """
+
+    n_users: int = 60_000
+    n_policies: int = 50
+    grouping_factor: float = 0.7
+    group_size: int | None = None
+    space_side: float = 1000.0
+    max_speed: float = 3.0
+    distribution: str = "uniform"  # "uniform" | "network"
+    n_destinations: int = 100
+    grid_bits: int = 10
+    curve: str = "z"  # "z" (paper) | "hilbert" (ablation)
+    max_update_interval: float = 120.0
+    n_phases: int = 2
+    page_size: int = 4096
+    buffer_pages: int = 50
+    buffer_policy: str = "lru"  # "lru" (paper) | "fifo" | "clock" | "lfu"
+    build_buffer_pages: int = 8192
+    n_queries: int = 200
+    window_side: float = 200.0
+    k: int = 5
+    time_domain: float = 1440.0
+    seed: int = 7
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class QueryCosts:
+    """Average per-query physical reads of the two approaches."""
+
+    peb_io: float
+    baseline_io: float
+    n_queries: int
+    peb_result_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Baseline I/O over PEB-tree I/O (>1 means the PEB-tree wins)."""
+        if self.peb_io <= 0:
+            return float("inf") if self.baseline_io > 0 else 1.0
+        return self.baseline_io / self.peb_io
+
+
+class ExperimentHarness:
+    """Builds the full system for one configuration and measures queries."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        # Independent random streams so e.g. changing the query count
+        # never perturbs the dataset.
+        self._movement_rng = random.Random(config.seed)
+        self._policy_rng = random.Random(config.seed + 1)
+        self._query_rng = random.Random(config.seed + 2)
+
+        self.grid = Grid(config.space_side, config.grid_bits, make_curve(config.curve))
+        self.partitioner = TimePartitioner(config.max_update_interval, config.n_phases)
+
+        if config.distribution == "uniform":
+            self.movement = UniformMovement(
+                config.space_side, config.max_speed, self._movement_rng
+            )
+        elif config.distribution == "network":
+            self.movement = NetworkMovement(
+                config.space_side, config.n_destinations, self._movement_rng
+            )
+        else:
+            raise ValueError(f"unknown distribution {config.distribution!r}")
+
+        objects = self.movement.initial_objects(config.n_users, t=0.0)
+        self.states: dict[int, MovingObject] = {obj.uid: obj for obj in objects}
+        self.now = 0.0
+
+        policy_generator = PolicyGenerator(
+            config.space_side, config.time_domain, self._policy_rng
+        )
+        self.store = policy_generator.generate(
+            sorted(self.states),
+            config.n_policies,
+            config.grouping_factor,
+            config.group_size,
+        )
+        self.encoding_report: EncodingReport = assign_sequence_values(
+            sorted(self.states), self.store, config.space_side**2
+        )
+        self.store.set_sequence_values(self.encoding_report.sequence_values)
+
+        self.peb_pool = self._make_pool()
+        self.peb_tree = PEBTree(self.peb_pool, self.grid, self.partitioner, self.store)
+        self.baseline_pool = self._make_pool()
+        self.bx_tree = BxTree(self.baseline_pool, self.grid, self.partitioner)
+        self.baseline = SpatialFilterBaseline(self.bx_tree, self.store)
+        for obj in objects:
+            self.peb_tree.insert(obj)
+            self.bx_tree.insert(obj)
+
+        self.query_generator = QueryGenerator(config.space_side, self._query_rng)
+
+    def _make_pool(self) -> BufferPool:
+        disk = SimulatedDisk(page_size=self.config.page_size)
+        return BufferPool(
+            disk,
+            capacity=self.config.build_buffer_pages,
+            policy=self.config.buffer_policy,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def _start_measuring(self, pool: BufferPool) -> None:
+        """Flush, shrink to the paper's query buffer, zero the counters."""
+        pool.flush()
+        pool.resize(self.config.buffer_pages)
+        pool.stats.reset()
+
+    def _stop_measuring(self, pool: BufferPool) -> int:
+        reads = pool.stats.physical_reads
+        pool.resize(self.config.build_buffer_pages)
+        return reads
+
+    def run_prq_batch(
+        self, check_results: bool = False, window_side: float | None = None
+    ) -> QueryCosts:
+        """Average PRQ I/O over ``n_queries`` fresh random windows.
+
+        ``window_side`` overrides the configured window for this batch
+        only (the Figure 15(a) sweep varies it on one built harness).
+        """
+        side = window_side if window_side is not None else self.config.window_side
+        queries = self.query_generator.range_queries(
+            sorted(self.states), self.config.n_queries, side, self.now
+        )
+        result_sizes: list[int] = []
+
+        self._start_measuring(self.peb_pool)
+        peb_answers = []
+        for query in queries:
+            answer = prq(self.peb_tree, query.q_uid, query.window, query.t_query)
+            peb_answers.append(answer.uids)
+            result_sizes.append(len(answer.users))
+        peb_reads = self._stop_measuring(self.peb_pool)
+
+        self._start_measuring(self.baseline_pool)
+        base_answers = []
+        for query in queries:
+            found = self.baseline.range_query(query.q_uid, query.window, query.t_query)
+            base_answers.append({obj.uid for obj in found})
+        base_reads = self._stop_measuring(self.baseline_pool)
+
+        if check_results:
+            for query, peb_set, base_set in zip(queries, peb_answers, base_answers):
+                expected = brute_force_prq(
+                    self.states, self.store, query.q_uid, query.window, query.t_query
+                )
+                if peb_set != expected or base_set != expected:
+                    raise AssertionError(
+                        f"PRQ mismatch for {query}: peb={sorted(peb_set)} "
+                        f"base={sorted(base_set)} expected={sorted(expected)}"
+                    )
+
+        count = len(queries)
+        return QueryCosts(
+            peb_io=peb_reads / count,
+            baseline_io=base_reads / count,
+            n_queries=count,
+            peb_result_sizes=result_sizes,
+        )
+
+    def run_pknn_batch(
+        self, check_results: bool = False, k: int | None = None
+    ) -> QueryCosts:
+        """Average PkNN I/O over ``n_queries`` issuers at their locations.
+
+        ``k`` overrides the configured neighbour count for this batch
+        only (the Figure 15(b) sweep varies it on one built harness).
+        """
+        k_value = k if k is not None else self.config.k
+        queries = self.query_generator.knn_queries(
+            self.states, self.config.n_queries, k_value, self.now
+        )
+
+        self._start_measuring(self.peb_pool)
+        peb_answers = []
+        for query in queries:
+            answer = pknn(
+                self.peb_tree, query.q_uid, query.qx, query.qy, query.k, query.t_query
+            )
+            peb_answers.append([round(d, 9) for d, _ in answer.neighbors])
+        peb_reads = self._stop_measuring(self.peb_pool)
+
+        self._start_measuring(self.baseline_pool)
+        base_answers = []
+        for query in queries:
+            found = self.baseline.knn_query(
+                query.q_uid, query.qx, query.qy, query.k, query.t_query
+            )
+            base_answers.append([round(d, 9) for d, _ in found])
+        base_reads = self._stop_measuring(self.baseline_pool)
+
+        if check_results:
+            for query, peb_dists, base_dists in zip(queries, peb_answers, base_answers):
+                expected = brute_force_pknn(
+                    self.states,
+                    self.store,
+                    query.q_uid,
+                    query.qx,
+                    query.qy,
+                    query.k,
+                    query.t_query,
+                )
+                expected_dists = [round(d, 9) for d, _ in expected]
+                if peb_dists != expected_dists or base_dists != expected_dists:
+                    raise AssertionError(
+                        f"PkNN mismatch for {query}: peb={peb_dists} "
+                        f"base={base_dists} expected={expected_dists}"
+                    )
+
+        count = len(queries)
+        return QueryCosts(
+            peb_io=peb_reads / count, baseline_io=base_reads / count, n_queries=count
+        )
+
+    # ------------------------------------------------------------------
+    # Update rounds (Figure 18)
+    # ------------------------------------------------------------------
+
+    def apply_update_round(self, fraction: float = 0.25) -> None:
+        """Advance time one phase and re-report the stalest ``fraction``.
+
+        Figure 18 measures query cost "each time 25% of the data set has
+        been updated ... until the data set has been fully updated twice".
+        Each round advances the clock by Δt_mu * fraction so four rounds
+        cycle the whole population within the maximum update interval.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.now += self.config.max_update_interval * fraction
+        batch_size = int(len(self.states) * fraction)
+        stalest = sorted(self.states.values(), key=lambda obj: obj.t_update)
+        for obj in stalest[:batch_size]:
+            moved = self.movement.advance(obj, self.now)
+            self.states[moved.uid] = moved
+            self.peb_tree.update(moved)
+            self.bx_tree.update(moved)
+
+    # ------------------------------------------------------------------
+    # Derived quantities for the cost model (Section 6)
+    # ------------------------------------------------------------------
+
+    @property
+    def peb_leaf_count(self) -> int:
+        """Nl — leaves in the PEB-tree."""
+        return self.peb_tree.btree.leaf_count

@@ -1,0 +1,57 @@
+"""Brute-force evaluators of the privacy-aware queries.
+
+These apply Definitions 2 and 3 literally over the *server-side* object
+states (the linear functions the indexes hold), with no index at all.
+Both the PEB-tree algorithms and the spatial-filter baseline must return
+exactly these results — the central correctness invariant of the
+reproduction (see ``tests/test_integration_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.motion.objects import MovingObject
+from repro.policy.store import PolicyStore
+from repro.spatial.geometry import Rect, euclidean
+
+
+def brute_force_prq(
+    states: dict[int, MovingObject],
+    store: PolicyStore,
+    q_uid: int,
+    window: Rect,
+    t_query: float,
+) -> set[int]:
+    """Uids satisfying both PRQ conditions of Definition 2."""
+    matches: set[int] = set()
+    for uid, obj in states.items():
+        if uid == q_uid:
+            continue
+        x, y = obj.position_at(t_query)
+        if window.contains(x, y) and store.evaluate(uid, q_uid, x, y, t_query):
+            matches.add(uid)
+    return matches
+
+
+def brute_force_pknn(
+    states: dict[int, MovingObject],
+    store: PolicyStore,
+    q_uid: int,
+    qx: float,
+    qy: float,
+    k: int,
+    t_query: float,
+) -> list[tuple[float, int]]:
+    """The k nearest policy-qualifying users per Definition 3.
+
+    Returns ``(distance, uid)`` sorted by distance (ties by uid for
+    determinism); fewer than k when fewer users qualify.
+    """
+    qualified: list[tuple[float, int]] = []
+    for uid, obj in states.items():
+        if uid == q_uid:
+            continue
+        x, y = obj.position_at(t_query)
+        if store.evaluate(uid, q_uid, x, y, t_query):
+            qualified.append((euclidean(qx, qy, x, y), uid))
+    qualified.sort()
+    return qualified[:k]

@@ -1,0 +1,54 @@
+"""Plain-text experiment tables.
+
+Each benchmark prints the series it regenerates in the shape the paper's
+figures plot them — parameter value, PEB-tree I/O, spatial-index I/O —
+so paper-vs-measured comparison is a glance at EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeriesTable:
+    """A small column-aligned table accumulated row by row.
+
+    Args:
+        title: heading printed above the table (e.g. "Figure 12(a): ...").
+        columns: column headers.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row; floats are rendered with one decimal."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_render(value) for value in values])
+
+    def render(self) -> str:
+        """The table as an aligned multi-line string."""
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            widths = [max(width, len(cell)) for width, cell in zip(widths, row)]
+        lines = [self.title]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

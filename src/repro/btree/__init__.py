@@ -1,0 +1,30 @@
+"""Disk-based B+-tree substrate.
+
+The PEB-tree "is based on the widely implemented B+-tree, which promises
+easy integration into existing commercial database systems" (Section 1).
+This package is that base structure: a page-oriented B+-tree whose nodes
+live in :class:`repro.storage.BufferPool` frames and serialize to 4 KiB
+page images.
+
+Design points:
+
+* Composite entry identity ``(key, uid)`` — many moving objects can share
+  one index key (same time partition, sequence value, and Z-value), so
+  entries are ordered and deleted by the pair.
+* Leaf nodes are chained through right-sibling pointers; the paper's query
+  algorithms (Figure 7, line 18) walk ``current_leaf.right_sibling``.
+* Fan-out is computed from the page geometry, not hard-coded, so the I/O
+  numbers react to entry width exactly as a real system would.
+"""
+
+from repro.btree.node import InternalNode, LeafNode
+from repro.btree.serialization import BTreeNodeSerializer
+from repro.btree.tree import BPlusTree, BTreeConfig
+
+__all__ = [
+    "BPlusTree",
+    "BTreeConfig",
+    "BTreeNodeSerializer",
+    "InternalNode",
+    "LeafNode",
+]

@@ -1,0 +1,62 @@
+"""In-memory B+-tree node representations.
+
+Nodes are plain containers; all structural logic (splits, borrows, merges)
+lives in :mod:`repro.btree.tree` and all byte-layout logic lives in
+:mod:`repro.btree.serialization`.  Keys are composite ``(key, uid)`` pairs:
+``key`` is the index key (a Bx-value or PEB-key packed into a non-negative
+integer) and ``uid`` disambiguates entries that share a key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Sentinel page id meaning "no sibling" in the leaf chain.
+NO_PAGE = -1
+
+LEAF_TYPE = 1
+INTERNAL_TYPE = 2
+
+
+@dataclass
+class LeafNode:
+    """A leaf page: sorted ``(key, uid)`` pairs with fixed-width payloads.
+
+    ``keys[i]`` and ``values[i]`` describe one entry.  ``next_leaf`` is the
+    page id of the right sibling (:data:`NO_PAGE` at the rightmost leaf).
+    """
+
+    keys: list[tuple[int, int]] = field(default_factory=list)
+    values: list[bytes] = field(default_factory=list)
+    next_leaf: int = NO_PAGE
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def min_key(self) -> tuple[int, int]:
+        """Smallest composite key stored in this leaf."""
+        return self.keys[0]
+
+
+@dataclass
+class InternalNode:
+    """An internal page: separator keys routing to child pages.
+
+    ``children`` has exactly ``len(separators) + 1`` page ids.  A lookup of
+    composite key ``ck`` descends into ``children[bisect_right(separators,
+    ck)]``: child ``i`` holds keys ``separators[i-1] <= ck < separators[i]``.
+    """
+
+    separators: list[tuple[int, int]] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.separators)

@@ -1,0 +1,144 @@
+"""Byte layout of B+-tree pages.
+
+Every node must pack into one disk page.  The layouts are:
+
+Leaf page::
+
+    type:u8  count:u16  next_leaf:i64  count * [key:u{kb*8} uid:u32 value:bytes[vb]]
+
+Internal page::
+
+    type:u8  count:u16  count * [key:u{kb*8} uid:u32]  (count+1) * [child:i64]
+
+``kb`` (key bytes) and ``vb`` (value bytes) are fixed per tree; fan-out is
+derived from them in :class:`repro.btree.tree.BTreeConfig`.  Integers are
+big-endian so byte order matches numeric order (useful when debugging
+hexdumps of pages).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.btree.node import (
+    INTERNAL_TYPE,
+    LEAF_TYPE,
+    InternalNode,
+    LeafNode,
+)
+
+_LEAF_HEADER = struct.Struct(">BHq")  # type, count, next_leaf
+_INTERNAL_HEADER = struct.Struct(">BH")  # type, count
+_UID = struct.Struct(">I")
+_CHILD = struct.Struct(">q")
+
+#: Leaf header bytes (1 + 2 + 8).
+LEAF_HEADER_SIZE = _LEAF_HEADER.size
+#: Internal header bytes (1 + 2).
+INTERNAL_HEADER_SIZE = _INTERNAL_HEADER.size
+#: Bytes per uid field.
+UID_SIZE = _UID.size
+#: Bytes per child-pointer field.
+CHILD_SIZE = _CHILD.size
+
+
+class BTreeNodeSerializer:
+    """Packs :class:`LeafNode` / :class:`InternalNode` to page images.
+
+    Args:
+        key_bytes: width of the integer index key in bytes.  Keys must be
+            non-negative and fit the width; the PEB-key codec guarantees
+            this by construction.
+        value_bytes: width of every leaf payload.
+    """
+
+    def __init__(self, key_bytes: int, value_bytes: int):
+        if key_bytes <= 0 or value_bytes < 0:
+            raise ValueError(
+                f"invalid widths: key_bytes={key_bytes} value_bytes={value_bytes}"
+            )
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+
+    # ------------------------------------------------------------------
+    # PageSerializer protocol
+    # ------------------------------------------------------------------
+
+    def pack(self, node) -> bytes:
+        if node.is_leaf:
+            return self._pack_leaf(node)
+        return self._pack_internal(node)
+
+    def parse(self, image: bytes):
+        node_type = image[0]
+        if node_type == LEAF_TYPE:
+            return self._parse_leaf(image)
+        if node_type == INTERNAL_TYPE:
+            return self._parse_internal(image)
+        raise ValueError(f"unknown node type byte {node_type!r}")
+
+    # ------------------------------------------------------------------
+    # Leaf layout
+    # ------------------------------------------------------------------
+
+    def _pack_leaf(self, node: LeafNode) -> bytes:
+        parts = [_LEAF_HEADER.pack(LEAF_TYPE, len(node.keys), node.next_leaf)]
+        for (key, uid), value in zip(node.keys, node.values):
+            if len(value) != self.value_bytes:
+                raise ValueError(
+                    f"leaf value is {len(value)} bytes, expected {self.value_bytes}"
+                )
+            parts.append(key.to_bytes(self.key_bytes, "big"))
+            parts.append(_UID.pack(uid))
+            parts.append(value)
+        return b"".join(parts)
+
+    def _parse_leaf(self, image: bytes) -> LeafNode:
+        _, count, next_leaf = _LEAF_HEADER.unpack_from(image, 0)
+        offset = LEAF_HEADER_SIZE
+        keys: list[tuple[int, int]] = []
+        values: list[bytes] = []
+        for _ in range(count):
+            key = int.from_bytes(image[offset : offset + self.key_bytes], "big")
+            offset += self.key_bytes
+            (uid,) = _UID.unpack_from(image, offset)
+            offset += UID_SIZE
+            values.append(image[offset : offset + self.value_bytes])
+            offset += self.value_bytes
+            keys.append((key, uid))
+        return LeafNode(keys=keys, values=values, next_leaf=next_leaf)
+
+    # ------------------------------------------------------------------
+    # Internal layout
+    # ------------------------------------------------------------------
+
+    def _pack_internal(self, node: InternalNode) -> bytes:
+        if len(node.children) != len(node.separators) + 1:
+            raise ValueError(
+                f"internal node has {len(node.separators)} separators but "
+                f"{len(node.children)} children"
+            )
+        parts = [_INTERNAL_HEADER.pack(INTERNAL_TYPE, len(node.separators))]
+        for key, uid in node.separators:
+            parts.append(key.to_bytes(self.key_bytes, "big"))
+            parts.append(_UID.pack(uid))
+        for child in node.children:
+            parts.append(_CHILD.pack(child))
+        return b"".join(parts)
+
+    def _parse_internal(self, image: bytes) -> InternalNode:
+        _, count = _INTERNAL_HEADER.unpack_from(image, 0)
+        offset = INTERNAL_HEADER_SIZE
+        separators: list[tuple[int, int]] = []
+        for _ in range(count):
+            key = int.from_bytes(image[offset : offset + self.key_bytes], "big")
+            offset += self.key_bytes
+            (uid,) = _UID.unpack_from(image, offset)
+            offset += UID_SIZE
+            separators.append((key, uid))
+        children: list[int] = []
+        for _ in range(count + 1):
+            (child,) = _CHILD.unpack_from(image, offset)
+            offset += CHILD_SIZE
+            children.append(child)
+        return InternalNode(separators=separators, children=children)

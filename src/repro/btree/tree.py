@@ -1,0 +1,477 @@
+"""Page-oriented B+-tree with full rebalancing.
+
+All node traffic flows through a :class:`repro.storage.BufferPool`, so the
+physical-read counter of the attached disk *is* the I/O cost the paper's
+experiments report.  The tree supports:
+
+* ``insert(key, uid, value)`` / ``delete(key, uid)`` with node splits,
+  borrows, and merges (moving-object workloads delete as often as they
+  insert, so structural shrinkage matters);
+* ``search(key, uid)`` point lookups;
+* ``scan_range(lo_key, hi_key)`` — the leaf-chain walk used by the Bx-tree
+  and PEB-tree query algorithms (Figure 7, lines 11–18);
+* ``check_invariants()`` — a structural validator used heavily by the
+  property-based tests.
+
+A buffer pool serves exactly one tree (its serializer is bound to the
+tree's key/value widths).  The pool capacity must be at least the tree
+height plus four so a single operation never evicts a frame it is holding.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.btree.node import NO_PAGE, InternalNode, LeafNode
+from repro.btree.serialization import (
+    CHILD_SIZE,
+    INTERNAL_HEADER_SIZE,
+    LEAF_HEADER_SIZE,
+    UID_SIZE,
+    BTreeNodeSerializer,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import PAGE_SIZE
+
+#: Largest uid value; used as the upper sentinel in composite-key ranges.
+MAX_UID = 0xFFFFFFFF
+
+CompositeKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class BTreeConfig:
+    """Geometry of one B+-tree, derived from the page size.
+
+    Args:
+        key_bytes: byte width of integer index keys.
+        value_bytes: byte width of every leaf payload.
+        page_size: disk page size (4096 in all paper experiments).
+    """
+
+    key_bytes: int = 10
+    value_bytes: int = 28
+    page_size: int = PAGE_SIZE
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum entries per leaf page."""
+        entry = self.key_bytes + UID_SIZE + self.value_bytes
+        capacity = (self.page_size - LEAF_HEADER_SIZE) // entry
+        if capacity < 2:
+            raise ValueError("page too small for two leaf entries")
+        return capacity
+
+    @property
+    def internal_capacity(self) -> int:
+        """Maximum separators per internal page (children = this + 1)."""
+        entry = self.key_bytes + UID_SIZE + CHILD_SIZE
+        capacity = (self.page_size - INTERNAL_HEADER_SIZE - CHILD_SIZE) // entry
+        if capacity < 2:
+            raise ValueError("page too small for two separators")
+        return capacity
+
+    @property
+    def min_leaf_entries(self) -> int:
+        """Underflow threshold for leaves (half full)."""
+        return max(1, self.leaf_capacity // 2)
+
+    @property
+    def min_children(self) -> int:
+        """Underflow threshold for internal nodes (half the max children)."""
+        return max(2, (self.internal_capacity + 2) // 2)
+
+
+class BPlusTree:
+    """A disk-based B+-tree of ``(key, uid) -> value`` entries."""
+
+    def __init__(self, pool: BufferPool, config: BTreeConfig | None = None):
+        self.pool = pool
+        self.config = config if config is not None else BTreeConfig()
+        self.serializer = BTreeNodeSerializer(
+            self.config.key_bytes, self.config.value_bytes
+        )
+        if pool.serializer is None:
+            pool.serializer = self.serializer
+        self.root_id = pool.disk.allocate()
+        self.first_leaf_id = self.root_id
+        pool.put(self.root_id, LeafNode())
+        self.height = 1
+        self.entry_count = 0
+        self.leaf_count = 1
+
+    @classmethod
+    def attach(
+        cls,
+        pool: BufferPool,
+        config: BTreeConfig,
+        root_id: int,
+        first_leaf_id: int,
+        height: int,
+        entry_count: int,
+        leaf_count: int,
+    ) -> "BPlusTree":
+        """Bind to a tree whose pages already live on the pool's disk.
+
+        The checkpoint-restore path: no root is allocated, the recorded
+        structural metadata is adopted verbatim.  The caller vouches
+        that the disk snapshot and the metadata belong together.
+        """
+        tree = cls.__new__(cls)
+        tree.pool = pool
+        tree.config = config
+        tree.serializer = BTreeNodeSerializer(config.key_bytes, config.value_bytes)
+        if pool.serializer is None:
+            pool.serializer = tree.serializer
+        tree.root_id = root_id
+        tree.first_leaf_id = first_leaf_id
+        tree.height = height
+        tree.entry_count = entry_count
+        tree.leaf_count = leaf_count
+        return tree
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, uid: int, value: bytes) -> None:
+        """Insert one entry; duplicates of ``(key, uid)`` are rejected."""
+        self._check_key(key)
+        ck = (key, uid)
+        path = self._descend(ck)
+        leaf_id = path[-1][0]
+        leaf: LeafNode = self.pool.get(leaf_id)
+        pos = bisect_left(leaf.keys, ck)
+        if pos < len(leaf.keys) and leaf.keys[pos] == ck:
+            raise KeyError(f"duplicate entry (key={key}, uid={uid})")
+        leaf.keys.insert(pos, ck)
+        leaf.values.insert(pos, value)
+        self.entry_count += 1
+        if len(leaf.keys) <= self.config.leaf_capacity:
+            self.pool.put(leaf_id, leaf)
+            return
+        self._split_leaf(path, leaf_id, leaf)
+
+    def delete(self, key: int, uid: int) -> bool:
+        """Remove the entry identified by ``(key, uid)``; True if found."""
+        found = self._delete_rec(self.root_id, (key, uid))
+        if found:
+            self.entry_count -= 1
+            self._collapse_root()
+        return found
+
+    def search(self, key: int, uid: int) -> bytes | None:
+        """Point lookup; None if the entry does not exist."""
+        ck = (key, uid)
+        leaf_id = self._descend(ck)[-1][0]
+        leaf: LeafNode = self.pool.get(leaf_id)
+        pos = bisect_left(leaf.keys, ck)
+        if pos < len(leaf.keys) and leaf.keys[pos] == ck:
+            return leaf.values[pos]
+        return None
+
+    def scan_range(self, lo_key: int, hi_key: int) -> Iterator[tuple[int, int, bytes]]:
+        """Yield ``(key, uid, value)`` for all entries with lo <= key <= hi."""
+        yield from self.scan_composite((lo_key, 0), (hi_key, MAX_UID))
+
+    def scan_composite(
+        self, lo: CompositeKey, hi: CompositeKey
+    ) -> Iterator[tuple[int, int, bytes]]:
+        """Leaf-chain scan over an inclusive composite-key interval."""
+        if lo > hi:
+            return
+        leaf_id = self._descend_low(lo)
+        while leaf_id != NO_PAGE:
+            leaf: LeafNode = self.pool.get(leaf_id)
+            start = bisect_left(leaf.keys, lo)
+            for idx in range(start, len(leaf.keys)):
+                ck = leaf.keys[idx]
+                if ck > hi:
+                    return
+                yield ck[0], ck[1], leaf.values[idx]
+            leaf_id = leaf.next_leaf
+
+    def items(self) -> Iterator[tuple[int, int, bytes]]:
+        """Yield every entry in key order."""
+        leaf_id = self.first_leaf_id
+        while leaf_id != NO_PAGE:
+            leaf: LeafNode = self.pool.get(leaf_id)
+            for ck, value in zip(list(leaf.keys), list(leaf.values)):
+                yield ck[0], ck[1], value
+            leaf_id = leaf.next_leaf
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    # ------------------------------------------------------------------
+    # Descent
+    # ------------------------------------------------------------------
+
+    def _check_key(self, key: int) -> None:
+        if key < 0:
+            raise ValueError(f"keys must be non-negative, got {key}")
+        if key.bit_length() > self.config.key_bytes * 8:
+            raise ValueError(
+                f"key {key} does not fit in {self.config.key_bytes} bytes"
+            )
+
+    def _descend(self, ck: CompositeKey) -> list[tuple[int, int]]:
+        """Root-to-leaf path as ``(page_id, child_index_taken)`` pairs.
+
+        The leaf's child index is meaningless and recorded as -1.
+        """
+        path: list[tuple[int, int]] = []
+        page_id = self.root_id
+        while True:
+            node = self.pool.get(page_id)
+            if node.is_leaf:
+                path.append((page_id, -1))
+                return path
+            idx = bisect_right(node.separators, ck)
+            path.append((page_id, idx))
+            page_id = node.children[idx]
+
+    def _descend_low(self, lo: CompositeKey) -> int:
+        """Leaf that may contain the first entry >= ``lo``."""
+        sentinel = (lo[0], lo[1] - 1) if lo[1] > 0 else (lo[0] - 1, MAX_UID)
+        page_id = self.root_id
+        while True:
+            node = self.pool.get(page_id)
+            if node.is_leaf:
+                return page_id
+            idx = bisect_right(node.separators, sentinel)
+            page_id = node.children[idx]
+
+    # ------------------------------------------------------------------
+    # Insert internals
+    # ------------------------------------------------------------------
+
+    def _split_leaf(
+        self, path: list[tuple[int, int]], leaf_id: int, leaf: LeafNode
+    ) -> None:
+        mid = len(leaf.keys) // 2
+        right = LeafNode(
+            keys=leaf.keys[mid:], values=leaf.values[mid:], next_leaf=leaf.next_leaf
+        )
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right_id = self.pool.disk.allocate()
+        leaf.next_leaf = right_id
+        self.pool.put(leaf_id, leaf)
+        self.pool.put(right_id, right)
+        self.leaf_count += 1
+        self._propagate_split(path[:-1], right.keys[0], right_id)
+
+    def _propagate_split(
+        self, path: list[tuple[int, int]], separator: CompositeKey, right_id: int
+    ) -> None:
+        while path:
+            page_id, idx = path.pop()
+            node: InternalNode = self.pool.get(page_id)
+            node.separators.insert(idx, separator)
+            node.children.insert(idx + 1, right_id)
+            if len(node.separators) <= self.config.internal_capacity:
+                self.pool.put(page_id, node)
+                return
+            mid = len(node.separators) // 2
+            separator_up = node.separators[mid]
+            right = InternalNode(
+                separators=node.separators[mid + 1 :],
+                children=node.children[mid + 1 :],
+            )
+            node.separators = node.separators[:mid]
+            node.children = node.children[: mid + 1]
+            new_right_id = self.pool.disk.allocate()
+            self.pool.put(page_id, node)
+            self.pool.put(new_right_id, right)
+            separator = separator_up
+            right_id = new_right_id
+        new_root = InternalNode(separators=[separator], children=[self.root_id, right_id])
+        new_root_id = self.pool.disk.allocate()
+        self.pool.put(new_root_id, new_root)
+        self.root_id = new_root_id
+        self.height += 1
+
+    # ------------------------------------------------------------------
+    # Delete internals
+    # ------------------------------------------------------------------
+
+    def _delete_rec(self, page_id: int, ck: CompositeKey) -> bool:
+        node = self.pool.get(page_id)
+        if node.is_leaf:
+            pos = bisect_left(node.keys, ck)
+            if pos < len(node.keys) and node.keys[pos] == ck:
+                del node.keys[pos]
+                del node.values[pos]
+                self.pool.put(page_id, node)
+                return True
+            return False
+        idx = bisect_right(node.separators, ck)
+        child_id = node.children[idx]
+        found = self._delete_rec(child_id, ck)
+        if not found:
+            return False
+        child = self.pool.get(child_id)
+        if self._underflows(child):
+            parent: InternalNode = self.pool.get(page_id)
+            self._fix_underflow(parent, page_id, idx)
+        return True
+
+    def _underflows(self, node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) < self.config.min_leaf_entries
+        return len(node.children) < self.config.min_children
+
+    def _can_spare(self, node) -> bool:
+        if node.is_leaf:
+            return len(node.keys) > self.config.min_leaf_entries
+        return len(node.children) > self.config.min_children
+
+    def _fix_underflow(self, parent: InternalNode, parent_id: int, idx: int) -> None:
+        child_id = parent.children[idx]
+        child = self.pool.get(child_id)
+        if idx > 0:
+            left_id = parent.children[idx - 1]
+            left = self.pool.get(left_id)
+            if self._can_spare(left):
+                self._borrow_from_left(parent, idx, left, child)
+                self.pool.put(left_id, left)
+                self.pool.put(child_id, child)
+                self.pool.put(parent_id, parent)
+                return
+        if idx < len(parent.children) - 1:
+            right_id = parent.children[idx + 1]
+            right = self.pool.get(right_id)
+            if self._can_spare(right):
+                self._borrow_from_right(parent, idx, child, right)
+                self.pool.put(child_id, child)
+                self.pool.put(right_id, right)
+                self.pool.put(parent_id, parent)
+                return
+        if idx > 0:
+            self._merge_children(parent, parent_id, idx - 1)
+        else:
+            self._merge_children(parent, parent_id, idx)
+
+    def _borrow_from_left(
+        self, parent: InternalNode, idx: int, left, child
+    ) -> None:
+        if child.is_leaf:
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.separators[idx - 1] = child.keys[0]
+        else:
+            child.separators.insert(0, parent.separators[idx - 1])
+            parent.separators[idx - 1] = left.separators.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(
+        self, parent: InternalNode, idx: int, child, right
+    ) -> None:
+        if child.is_leaf:
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.separators[idx] = right.keys[0]
+        else:
+            child.separators.append(parent.separators[idx])
+            parent.separators[idx] = right.separators.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge_children(self, parent: InternalNode, parent_id: int, i: int) -> None:
+        """Absorb ``parent.children[i+1]`` into ``parent.children[i]``."""
+        left_id = parent.children[i]
+        right_id = parent.children[i + 1]
+        left = self.pool.get(left_id)
+        right = self.pool.get(right_id)
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+            self.leaf_count -= 1
+        else:
+            left.separators.append(parent.separators[i])
+            left.separators.extend(right.separators)
+            left.children.extend(right.children)
+        del parent.separators[i]
+        del parent.children[i + 1]
+        self.pool.put(left_id, left)
+        self.pool.put(parent_id, parent)
+        self.pool.discard(right_id)
+        self.pool.disk.free(right_id)
+
+    def _collapse_root(self) -> None:
+        root = self.pool.get(self.root_id)
+        while not root.is_leaf and len(root.children) == 1:
+            old_root = self.root_id
+            self.root_id = root.children[0]
+            self.pool.discard(old_root)
+            self.pool.disk.free(old_root)
+            self.height -= 1
+            root = self.pool.get(self.root_id)
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises AssertionError on violation."""
+        leaves: list[int] = []
+        count = self._check_node(self.root_id, None, None, 1, leaves)
+        assert count == self.entry_count, (
+            f"entry_count={self.entry_count} but traversal found {count}"
+        )
+        assert len(leaves) == self.leaf_count, (
+            f"leaf_count={self.leaf_count} but traversal found {len(leaves)}"
+        )
+        assert leaves[0] == self.first_leaf_id, "first leaf pointer is stale"
+        # The leaf chain must visit exactly the leaves, in order.
+        chain = []
+        leaf_id = self.first_leaf_id
+        while leaf_id != NO_PAGE:
+            chain.append(leaf_id)
+            chain_node = self.pool.get(leaf_id)
+            leaf_id = chain_node.next_leaf
+        assert chain == leaves, f"leaf chain {chain} != tree order {leaves}"
+
+    def _check_node(
+        self,
+        page_id: int,
+        lo: CompositeKey | None,
+        hi: CompositeKey | None,
+        depth: int,
+        leaves: list[int],
+    ) -> int:
+        node = self.pool.get(page_id)
+        if node.is_leaf:
+            assert depth == self.height, (
+                f"leaf {page_id} at depth {depth}, height {self.height}"
+            )
+            assert node.keys == sorted(node.keys), f"leaf {page_id} unsorted"
+            assert len(set(node.keys)) == len(node.keys), f"leaf {page_id} dup keys"
+            assert len(node.keys) == len(node.values)
+            assert len(node.keys) <= self.config.leaf_capacity
+            if page_id != self.root_id:
+                assert len(node.keys) >= self.config.min_leaf_entries, (
+                    f"leaf {page_id} underfull: {len(node.keys)}"
+                )
+            for ck in node.keys:
+                assert lo is None or ck >= lo, f"leaf {page_id}: {ck} < {lo}"
+                assert hi is None or ck < hi, f"leaf {page_id}: {ck} >= {hi}"
+            leaves.append(page_id)
+            return len(node.keys)
+        assert node.separators == sorted(node.separators)
+        assert len(node.children) == len(node.separators) + 1
+        assert len(node.separators) <= self.config.internal_capacity
+        if page_id != self.root_id:
+            assert len(node.children) >= self.config.min_children, (
+                f"internal {page_id} underfull: {len(node.children)} children"
+            )
+        else:
+            assert len(node.children) >= 2, "internal root must have >= 2 children"
+        count = 0
+        bounds = [lo] + list(node.separators) + [hi]
+        for i, child in enumerate(node.children):
+            count += self._check_node(child, bounds[i], bounds[i + 1], depth + 1, leaves)
+        return count

@@ -1,0 +1,30 @@
+"""The Bx-tree [13] and the spatial-index + filter baseline (Section 4).
+
+The Bx-tree is the paper's base structure and also, combined with a
+post-hoc policy filter, the comparison approach in every experiment:
+"we select the Bx-tree as the spatial index, and we adopt the commonly
+used filtering approach to handle peer-wise privacy concerns"
+(Section 7.1).
+
+* :mod:`repro.bxtree.keys` — ``Bx_value = [index_partition]2 ⊕ [x_rep]2``
+  (Equations 1–3);
+* :mod:`repro.bxtree.tree` — insert / delete / update of moving objects;
+* :mod:`repro.bxtree.queries` — range query with velocity enlargement
+  (Figure 2) and iterative-enlargement kNN;
+* :mod:`repro.bxtree.filter_baseline` — the privacy-unaware query plus
+  policy filtering used as the experimental baseline.
+"""
+
+from repro.bxtree.filter_baseline import SpatialFilterBaseline
+from repro.bxtree.keys import BxKeyCodec
+from repro.bxtree.queries import bx_knn, bx_range_query, enlargement_for_label
+from repro.bxtree.tree import BxTree
+
+__all__ = [
+    "BxKeyCodec",
+    "BxTree",
+    "SpatialFilterBaseline",
+    "bx_knn",
+    "bx_range_query",
+    "enlargement_for_label",
+]

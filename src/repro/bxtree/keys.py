@@ -1,0 +1,57 @@
+"""Bx-value computation (Equations 1–3).
+
+``Bx_value(O, tu) = [index_partition]2 ⊕ [x_rep]2`` — the time-partition
+id in the high bits, the space-filling-curve value of the object's
+position *as of its label timestamp* in the low bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BxKeyCodec:
+    """Packs ``(index_partition, z_value)`` into one integer key.
+
+    Args:
+        tid_count: number of distinct partition ids (``n + 1``).
+        zv_bits: bit width of the Z-value field.
+    """
+
+    tid_count: int
+    zv_bits: int
+
+    def __post_init__(self):
+        if self.tid_count < 1:
+            raise ValueError("tid_count must be at least 1")
+        if self.zv_bits < 1:
+            raise ValueError("zv_bits must be positive")
+
+    @property
+    def tid_bits(self) -> int:
+        return max(1, (self.tid_count - 1).bit_length())
+
+    @property
+    def total_bits(self) -> int:
+        return self.tid_bits + self.zv_bits
+
+    @property
+    def key_bytes(self) -> int:
+        return (self.total_bits + 7) // 8
+
+    def compose(self, tid: int, zv: int) -> int:
+        """Equation 1: concatenate partition id and location value."""
+        if not 0 <= tid < self.tid_count:
+            raise ValueError(f"tid {tid} outside [0, {self.tid_count})")
+        if zv < 0 or zv.bit_length() > self.zv_bits:
+            raise ValueError(f"zv {zv} does not fit in {self.zv_bits} bits")
+        return (tid << self.zv_bits) | zv
+
+    def decompose(self, key: int) -> tuple[int, int]:
+        """Split a key into ``(tid, zv)``."""
+        return key >> self.zv_bits, key & ((1 << self.zv_bits) - 1)
+
+    def search_range(self, tid: int, z_lo: int, z_hi: int) -> tuple[int, int]:
+        """Key interval of one Z-interval inside one partition."""
+        return self.compose(tid, z_lo), self.compose(tid, z_hi)

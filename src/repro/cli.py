@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Five subcommands cover the library's workflows end to end:
+
+* ``demo`` — build a population, run one PRQ and one PkNN on both the
+  PEB-tree and the spatial-filter baseline, print answers and I/O.
+* ``encode`` — generate a policy workload and run a sequence-value
+  encoder; prints timing and assignment statistics (the Figure 11
+  experiment in miniature, any encoder).
+* ``experiment`` — regenerate one figure of the paper's evaluation and
+  print its series as a table.
+* ``report`` — regenerate *every* figure and write EXPERIMENTS.md.
+* ``cost-model`` — evaluate the Section 6 analytical cost function.
+
+All randomness is seeded; identical invocations print identical numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.bench.experiments import PAPER, REDUCED
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.bench.reporting import SeriesTable
+from repro.core.cost_model import CostModel
+from repro.core.encoders import ENCODERS, make_encoder
+from repro.workloads.policies import PolicyGenerator
+
+#: Experiment names accepted by the ``experiment`` subcommand.
+EXPERIMENTS = (
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15a",
+    "fig15b",
+    "fig16",
+    "fig17",
+    "fig18",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "PEB-tree reproduction (Lin et al., PVLDB 5(1), 2011): "
+            "privacy-aware moving-object indexing."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run one PRQ and one PkNN on PEB-tree vs baseline"
+    )
+    demo.add_argument("--users", type=int, default=2000)
+    demo.add_argument("--policies", type=int, default=20)
+    demo.add_argument("--theta", type=float, default=0.7)
+    demo.add_argument("--window", type=float, default=200.0)
+    demo.add_argument("--k", type=int, default=5)
+    demo.add_argument("--queries", type=int, default=20)
+    demo.add_argument("--curve", choices=("z", "hilbert"), default="z")
+    demo.add_argument("--buffer-policy", dest="buffer_policy",
+                      choices=("lru", "fifo", "clock", "lfu"), default="lru")
+    demo.add_argument("--seed", type=int, default=7)
+
+    encode = subparsers.add_parser(
+        "encode", help="run a sequence-value encoder on a policy workload"
+    )
+    encode.add_argument("--users", type=int, default=5000)
+    encode.add_argument("--policies", type=int, default=20)
+    encode.add_argument("--theta", type=float, default=0.7)
+    encode.add_argument(
+        "--encoder", choices=sorted(ENCODERS), default="figure5"
+    )
+    encode.add_argument("--seed", type=int, default=7)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one figure of the paper's evaluation"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument(
+        "--scale", choices=("reduced", "paper"), default="reduced"
+    )
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every figure and write EXPERIMENTS.md"
+    )
+    report.add_argument(
+        "--scale", choices=("reduced", "paper"), default="reduced"
+    )
+    report.add_argument("--output", default="EXPERIMENTS.md")
+
+    cost = subparsers.add_parser(
+        "cost-model", help="evaluate the Section 6 cost function"
+    )
+    cost.add_argument("--users", type=int, default=60_000)
+    cost.add_argument("--policies", type=int, default=50)
+    cost.add_argument("--theta", type=float, default=0.7)
+    cost.add_argument("--leaves", type=int, default=1000)
+    cost.add_argument("--a1", type=float, default=10.0,
+                      help="density coefficient (paper: 10 for uniform data)")
+    cost.add_argument("--a2", type=float, default=0.3,
+                      help="constant coefficient (paper: 0.3 for uniform data)")
+    cost.add_argument("--space-side", dest="space_side", type=float, default=1000.0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations (each returns a process exit code)
+# ----------------------------------------------------------------------
+
+
+def run_demo(args) -> int:
+    config = ExperimentConfig(
+        n_users=args.users,
+        n_policies=args.policies,
+        grouping_factor=args.theta,
+        window_side=args.window,
+        k=args.k,
+        n_queries=args.queries,
+        page_size=1024,
+        curve=args.curve,
+        buffer_policy=args.buffer_policy,
+        seed=args.seed,
+    )
+    print(
+        f"Building {config.n_users} users, {config.n_policies} policies/user, "
+        f"theta={config.grouping_factor}, curve={config.curve} ..."
+    )
+    harness = ExperimentHarness(config)
+    report = harness.encoding_report
+    print(
+        f"Policy encoding: {report.related_pair_count} related pairs, "
+        f"{report.group_count} groups, {report.elapsed_seconds:.3f}s"
+    )
+
+    prq_costs = harness.run_prq_batch(check_results=True)
+    knn_costs = harness.run_pknn_batch(check_results=True)
+
+    table = SeriesTable(
+        f"Average physical reads per query ({config.n_queries} queries, "
+        f"{config.buffer_pages}-page {config.buffer_policy.upper()} buffer)",
+        ["query", "PEB-tree", "spatial index", "speedup"],
+    )
+    table.add_row(
+        f"PRQ (window {config.window_side:.0f})",
+        prq_costs.peb_io,
+        prq_costs.baseline_io,
+        f"{prq_costs.speedup:.1f}x",
+    )
+    table.add_row(
+        f"PkNN (k={config.k})",
+        knn_costs.peb_io,
+        knn_costs.baseline_io,
+        f"{knn_costs.speedup:.1f}x",
+    )
+    table.print()
+    print("\nResults verified against brute force over all users. OK")
+    return 0
+
+
+def run_encode(args) -> int:
+    rng = random.Random(args.seed)
+    generator = PolicyGenerator(1000.0, 1440.0, rng)
+    users = list(range(args.users))
+    store = generator.generate(users, args.policies, args.theta)
+    encoder = make_encoder(args.encoder)
+    report = encoder.encode(users, store, 1000.0**2)
+
+    values = sorted(report.sequence_values.values())
+    table = SeriesTable(
+        f"Sequence-value encoding: {args.encoder}", ["metric", "value"]
+    )
+    table.add_row("users", args.users)
+    table.add_row("policies per user", args.policies)
+    table.add_row("grouping factor", args.theta)
+    table.add_row("related pairs", report.related_pair_count)
+    table.add_row("groups", report.group_count)
+    table.add_row("elapsed seconds", f"{report.elapsed_seconds:.4f}")
+    table.add_row("SV range", f"{values[0]:.2f} .. {values[-1]:.2f}")
+    table.print()
+    return 0
+
+
+def run_experiment(args) -> int:
+    import os
+
+    os.environ["REPRO_SCALE"] = args.scale
+    from repro.bench import experiments
+
+    preset = experiments.scale_preset()
+    cache = experiments.HarnessCache()
+
+    drivers = {
+        "fig11a": lambda: experiments.fig11a_encoding_vs_users(preset),
+        "fig11b": lambda: experiments.fig11b_encoding_vs_policies(preset),
+        "fig12": lambda: experiments.fig12_vs_users(preset, cache),
+        "fig13": lambda: experiments.fig13_vs_policies(preset, cache),
+        "fig14": lambda: experiments.fig14_vs_grouping(preset, cache),
+        "fig15a": lambda: experiments.fig15a_vs_window(preset, cache),
+        "fig15b": lambda: experiments.fig15b_vs_k(preset, cache),
+        "fig16": lambda: experiments.fig16_vs_destinations(preset, cache),
+        "fig17": lambda: experiments.fig17_vs_speed(preset, cache),
+        "fig18": lambda: experiments.fig18_vs_updates(preset),
+    }
+    rows = drivers[args.name]()
+    if not rows:
+        print("no data produced", file=sys.stderr)
+        return 1
+    columns = list(rows[0].keys())
+    table = SeriesTable(f"{args.name} [{preset.name} scale]", columns)
+    for row in rows:
+        table.add_row(*(row[column] for column in columns))
+    table.print()
+    return 0
+
+
+def run_report(args) -> int:
+    from repro.bench.report import generate
+
+    preset = PAPER if args.scale == "paper" else REDUCED
+    print(
+        f"Regenerating every figure at '{args.scale}' scale; this runs the "
+        "full evaluation and takes a while ..."
+    )
+    generate(args.output, preset)
+    print(f"Wrote {args.output}")
+    return 0
+
+
+def run_cost_model(args) -> int:
+    model = CostModel(a1=args.a1, a2=args.a2, space_side=args.space_side)
+    estimate = model.estimate(
+        n_users=args.users,
+        n_policies=args.policies,
+        theta=args.theta,
+        n_leaves=args.leaves,
+    )
+    table = SeriesTable("Section 6 cost model (Equation 7)", ["input", "value"])
+    table.add_row("N (users)", args.users)
+    table.add_row("Np (policies/user)", args.policies)
+    table.add_row("theta", args.theta)
+    table.add_row("Nl (leaves)", args.leaves)
+    table.add_row("a1, a2", f"{args.a1}, {args.a2}")
+    table.add_row("estimated PRQ I/O", f"{estimate:.2f}")
+    table.print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": run_demo,
+        "encode": run_encode,
+        "experiment": run_experiment,
+        "report": run_report,
+        "cost-model": run_cost_model,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

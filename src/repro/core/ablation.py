@@ -1,0 +1,111 @@
+"""Ablation variants of the paper's design choices.
+
+Section 5.2 argues the key layout must give "higher priority to sequence
+values than to location mapping values"; Figure 9 argues for triangular
+search order; Section 5.3's prose describes per-(SV, interval) search
+ranges while Figure 7's pseudo-code sketches one coarse scan from
+``SVmin ⊕ ZV_lo`` to ``SVmax ⊕ ZV_hi``.  The variants here make each
+choice swappable so ``benchmarks/bench_ablations.py`` can measure what
+the choice is worth:
+
+* :class:`ZVFirstKeyCodec` — swaps the SV and ZV fields (location gets
+  priority).  Every query algorithm still returns correct results —
+  search ranges remain valid key intervals — but ranges now span all
+  sequence values inside a Z window, so scans over-read.
+* :func:`prq_span_scan` — the literal Figure 7 procedure: per Z-interval
+  one scan covering the issuer's whole ``[SVmin ; SVmax]`` band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bxtree.queries import enlargement_for_label
+from repro.core.peb_key import PEBKeyCodec
+from repro.core.peb_tree import PEBTree
+from repro.core.prq import PRQResult
+from repro.spatial.geometry import Rect
+
+
+@dataclass(frozen=True)
+class ZVFirstKeyCodec(PEBKeyCodec):
+    """PEB-key variant with the Z-value above the sequence value.
+
+    ``key = [TID]2 ⊕ [ZV]2 ⊕ [SV]2`` — the layout the paper argues
+    against.  ``search_range`` bounds stay correct (the low/high corner
+    keys of the requested (SV, Z-window) cell) but now enclose every
+    sequence value whose Z-value falls inside the window.
+    """
+
+    def compose_quantized(self, tid: int, sv_q: int, zv: int) -> int:
+        if not 0 <= tid < self.tid_count:
+            raise ValueError(f"tid {tid} outside [0, {self.tid_count})")
+        if zv.bit_length() > self.zv_bits:
+            raise ValueError(f"zv {zv} does not fit in {self.zv_bits} bits")
+        if zv < 0 or sv_q < 0:
+            raise ValueError("key components must be non-negative")
+        if sv_q.bit_length() > self.sv_bits:
+            raise ValueError(f"sv_q {sv_q} does not fit in {self.sv_bits} bits")
+        return ((tid << self.zv_bits) | zv) << self.sv_bits | sv_q
+
+    def decompose(self, key: int) -> tuple[int, int, int]:
+        sv_q = key & ((1 << self.sv_bits) - 1)
+        rest = key >> self.sv_bits
+        zv = rest & ((1 << self.zv_bits) - 1)
+        tid = rest >> self.zv_bits
+        return tid, sv_q, zv
+
+
+def make_zv_first_tree(pool, grid, partitioner, store, sv_bits=32, sv_scale=128):
+    """A PEB-tree whose keys put location above policy proximity."""
+    tree = PEBTree(pool, grid, partitioner, store, sv_bits=sv_bits, sv_scale=sv_scale)
+    tree.codec = ZVFirstKeyCodec(
+        tid_count=partitioner.num_partitions,
+        sv_bits=sv_bits,
+        zv_bits=grid.zv_bits,
+        sv_scale=sv_scale,
+    )
+    return tree
+
+
+def prq_span_scan(
+    tree: PEBTree, q_uid: int, window: Rect, t_query: float
+) -> PRQResult:
+    """Figure 7's literal procedure: one ``SVmin..SVmax`` scan per
+    (partition, Z-interval) pair.
+
+    Correct but coarse — the scanned band contains every user whose SV
+    falls between the issuer's least and greatest friend, regardless of
+    any policy with the issuer.  The benchmark compares its I/O against
+    the per-SV ranges the prose of Section 5.3 describes (our default
+    :func:`repro.core.prq.prq`).
+    """
+    friends = tree.store.friend_list(q_uid)
+    result = PRQResult()
+    if not friends:
+        return result
+    sv_min = friends[0][0]
+    sv_max = friends[-1][0]
+
+    seen: set[int] = set()
+    for label in tree.partitioner.live_labels(t_query):
+        tid = tree.partitioner.partition_of_label(label)
+        enlarged = window.expanded(
+            enlargement_for_label(label, t_query, tree.max_speed_x),
+            enlargement_for_label(label, t_query, tree.max_speed_y),
+        )
+        for z_lo, z_hi in tree.grid.decompose(enlarged, coarsen=True):
+            lo, _ = tree.codec.search_range(tid, sv_min, z_lo, z_lo)
+            _, hi = tree.codec.search_range(tid, sv_max, z_hi, z_hi)
+            for _, _, payload in tree.btree.scan_range(lo, hi):
+                obj, _ = tree.records.unpack(payload)
+                if obj.uid in seen:
+                    continue
+                seen.add(obj.uid)
+                result.candidates_examined += 1
+                x, y = obj.position_at(t_query)
+                if window.contains(x, y) and tree.store.evaluate(
+                    obj.uid, q_uid, x, y, t_query
+                ):
+                    result.users.append(obj)
+    return result

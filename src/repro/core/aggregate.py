@@ -1,0 +1,172 @@
+"""Privacy-aware aggregate queries (Section 8 future work).
+
+Two aggregates frequently requested of location services:
+
+* :func:`pcount` — how many policy-qualifying users are inside a range
+  right now?  Runs the PRQ search but returns only the count, never
+  materializing user states for the issuer; with ``at_least`` it turns
+  *existential* ("is any friend nearby?") and stops scanning the moment
+  the threshold is reached — skipping whole SV bands is where the
+  PEB-tree layout pays off.
+* :func:`pdensity_grid` — the count per cell of a coarse grid over a
+  range, the building block of privacy-respecting heat maps: the issuer
+  learns how many of their visible friends are in each cell, not where
+  exactly each friend stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bxtree.queries import enlargement_for_label
+from repro.core.peb_tree import PEBTree
+from repro.spatial.geometry import Rect
+
+
+@dataclass
+class CountResult:
+    """Outcome of a privacy-aware count.
+
+    Attributes:
+        count: qualifying users found (exact unless terminated early).
+        candidates_examined: entries fetched and verified.
+        terminated_early: True when an ``at_least`` threshold stopped the
+            scan — ``count`` is then a certified lower bound, not a total.
+    """
+
+    count: int = 0
+    candidates_examined: int = 0
+    terminated_early: bool = False
+
+
+def pcount(
+    tree: PEBTree,
+    q_uid: int,
+    window: Rect,
+    t_query: float,
+    at_least: int | None = None,
+) -> CountResult:
+    """Count users satisfying both Definition-2 conditions in ``window``.
+
+    Args:
+        tree: the PEB-tree.
+        q_uid: the query issuer.
+        window: the counted rectangle.
+        t_query: evaluation time.
+        at_least: optional threshold; scanning stops as soon as this many
+            qualifying users are confirmed.  ``at_least=1`` is the
+            existential query.
+    """
+    if at_least is not None and at_least < 1:
+        raise ValueError(f"at_least must be positive, got {at_least}")
+    friends = tree.store.friend_list(q_uid)
+    result = CountResult()
+    if not friends:
+        return result
+
+    located: set[int] = set()
+    for label in tree.partitioner.live_labels(t_query):
+        tid = tree.partitioner.partition_of_label(label)
+        enlarged = window.expanded(
+            enlargement_for_label(label, t_query, tree.max_speed_x),
+            enlargement_for_label(label, t_query, tree.max_speed_y),
+        )
+        span = tree.grid.z_span(enlarged)
+        if span is None:
+            continue
+        z_lo, z_hi = span
+        for sv, friend_uid in friends:
+            if friend_uid in located:
+                continue
+            for obj in tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
+                if obj.uid in located:
+                    continue
+                located.add(obj.uid)
+                result.candidates_examined += 1
+                x, y = obj.position_at(t_query)
+                if window.contains(x, y) and tree.store.evaluate(
+                    obj.uid, q_uid, x, y, t_query
+                ):
+                    result.count += 1
+                    if at_least is not None and result.count >= at_least:
+                        result.terminated_early = True
+                        return result
+    return result
+
+
+@dataclass
+class DensityResult:
+    """Per-cell counts of qualifying users over a range.
+
+    Attributes:
+        cells: ``(row, column) -> count`` for non-empty cells; ``row``
+            indexes y (bottom-up), ``column`` indexes x (left-right).
+        total: total qualifying users (sum of the cells).
+        candidates_examined: entries fetched and verified.
+    """
+
+    rows: int
+    columns: int
+    cells: dict[tuple[int, int], int] = field(default_factory=dict)
+    total: int = 0
+    candidates_examined: int = 0
+
+    def count_at(self, row: int, column: int) -> int:
+        """Count of one cell (0 when empty or out of range)."""
+        return self.cells.get((row, column), 0)
+
+
+def pdensity_grid(
+    tree: PEBTree,
+    q_uid: int,
+    window: Rect,
+    t_query: float,
+    rows: int = 4,
+    columns: int = 4,
+) -> DensityResult:
+    """Histogram of qualifying users over an ``rows x columns`` grid.
+
+    The scan is the PRQ search; each qualifying user increments exactly
+    one bucket, determined by its *verified* position at query time.
+    """
+    if rows < 1 or columns < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{columns}")
+    if window.width <= 0 or window.height <= 0:
+        raise ValueError("density window must have positive area")
+    friends = tree.store.friend_list(q_uid)
+    result = DensityResult(rows=rows, columns=columns)
+    if not friends:
+        return result
+
+    cell_width = window.width / columns
+    cell_height = window.height / rows
+    located: set[int] = set()
+    for label in tree.partitioner.live_labels(t_query):
+        tid = tree.partitioner.partition_of_label(label)
+        enlarged = window.expanded(
+            enlargement_for_label(label, t_query, tree.max_speed_x),
+            enlargement_for_label(label, t_query, tree.max_speed_y),
+        )
+        span = tree.grid.z_span(enlarged)
+        if span is None:
+            continue
+        z_lo, z_hi = span
+        for sv, friend_uid in friends:
+            if friend_uid in located:
+                continue
+            for obj in tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
+                if obj.uid in located:
+                    continue
+                located.add(obj.uid)
+                result.candidates_examined += 1
+                x, y = obj.position_at(t_query)
+                if window.contains(x, y) and tree.store.evaluate(
+                    obj.uid, q_uid, x, y, t_query
+                ):
+                    column = min(int((x - window.x_lo) / cell_width), columns - 1)
+                    row = min(int((y - window.y_lo) / cell_height), rows - 1)
+                    result.cells[(row, column)] = (
+                        result.cells.get((row, column), 0) + 1
+                    )
+                    result.total += 1
+    return result

@@ -1,0 +1,97 @@
+"""Policy comparison: the α score and compatibility degree C (Section 5.1).
+
+Two cases are distinguished for users ``u1``, ``u2`` with policies
+``P(1->2)`` and ``P(2->1)``:
+
+* **Mutual** (``P(1->2) <-> P(2->1)``): both policies exist and their
+  regions *and* time intervals overlap — the users can sometimes see each
+  other simultaneously::
+
+      α = O(locr1, locr2)/S · D(tint1, tint2)/T
+      C = (1 + α) / 2                      -> always in (0.5, 1]
+
+* **Non-simultaneous** (``P(1->2) = P(2->1)``): the policies never hold at
+  the same place-and-time (or only one exists)::
+
+      α = 1/2 (|locr1|/S·|tint1|/T + |locr2|/S·|tint2|/T)
+      C = α                                -> never exceeds 0.5
+
+  (a missing policy's term is omitted).  With no policy in either
+  direction, α = C = 0 and the users are *unrelated*.
+
+``S`` is the area of the space domain and ``T`` the duration of the time
+domain, used for normalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policy.lpp import LocationPrivacyPolicy
+
+
+@dataclass(frozen=True)
+class CompatibilityResult:
+    """The α score, the degree C, and which case of Equation 4 applied."""
+
+    alpha: float
+    degree: float
+    mutual: bool
+
+    @property
+    def related(self) -> bool:
+        """Users with non-zero compatibility are *related* (Section 5.1)."""
+        return self.degree > 0.0
+
+
+def compatibility(
+    p12: LocationPrivacyPolicy | None,
+    p21: LocationPrivacyPolicy | None,
+    space_area: float,
+    time_domain: float,
+) -> CompatibilityResult:
+    """Compute α and C(u1, u2) per Section 5.1 and Equation 4.
+
+    Args:
+        p12: u1's policy regarding u2 (or None).
+        p21: u2's policy regarding u1 (or None).
+        space_area: S, the area of the space domain.
+        time_domain: T, the duration of the time domain.
+    """
+    if space_area <= 0 or time_domain <= 0:
+        raise ValueError("space_area and time_domain must be positive")
+    if p12 is None and p21 is None:
+        return CompatibilityResult(alpha=0.0, degree=0.0, mutual=False)
+
+    if p12 is not None and p21 is not None:
+        region_overlap = p12.locr.overlap_area(p21.locr)
+        time_overlap = _time_overlap(p12, p21)
+        if region_overlap > 0.0 and time_overlap > 0.0:
+            alpha = (region_overlap / space_area) * (time_overlap / time_domain)
+            return CompatibilityResult(alpha=alpha, degree=(1.0 + alpha) / 2.0, mutual=True)
+
+    alpha = 0.0
+    for policy in (p12, p21):
+        if policy is not None:
+            alpha += (policy.region_area / space_area) * (
+                policy.time_duration / time_domain
+            )
+    alpha /= 2.0
+    return CompatibilityResult(alpha=alpha, degree=alpha, mutual=False)
+
+
+def _time_overlap(p12: LocationPrivacyPolicy, p21: LocationPrivacyPolicy) -> float:
+    """D(tint1, tint2) — overlap duration; TimeInterval and TimeSet mix.
+
+    ``TimeSet.overlap`` accepts either kind, while ``TimeInterval.overlap``
+    only accepts another interval, so a TimeSet operand (if any) must be
+    the receiver.
+    """
+    from repro.policy.timeset import TimeSet
+
+    tint1, tint2 = p12.tint, p21.tint
+    if isinstance(tint1, TimeSet):
+        return tint1.overlap(tint2)
+    if isinstance(tint2, TimeSet):
+        return tint2.overlap(tint1)
+    return tint1.overlap(tint2)

@@ -1,0 +1,115 @@
+"""The PEB-key codec: ``PEB_key = [TID]2 ⊕ [SV]2 ⊕ [ZV]2`` (Equation 5).
+
+"The construction of the PEB key gives higher priority to sequence values
+than to location mapping values" (Section 5.2): the time-partition id
+occupies the most significant bits, the sequence value the middle bits,
+and the Z-value the least significant bits, so plain integer comparison
+orders users first by partition, then by policy proximity, then by
+location.
+
+Sequence values are reals; they are packed order-preservingly as
+fixed-point integers with ``sv_scale`` sub-unit steps.  The default scale
+of 128 (7 fractional bits) is finer than the resolution of the
+compatibility degree, so distinct group offsets never collide by
+quantization alone (members whose C ties still share an SV — the
+composite ``(key, uid)`` entry identity in the B+-tree handles that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default fixed-point scale for sequence values (7 fractional bits).
+DEFAULT_SV_SCALE = 128
+
+#: Default bit width of the packed sequence value; holds SVs up to
+#: 2**32 / 128 = 33.5 million, comfortably above ``sv0 + δ·N`` for the
+#: paper's largest N of 100 K users.
+DEFAULT_SV_BITS = 32
+
+
+@dataclass(frozen=True)
+class PEBKeyCodec:
+    """Packs and unpacks PEB-keys.
+
+    Args:
+        tid_count: number of distinct time-partition ids (``n + 1``).
+        sv_bits: bit width of the quantized sequence value.
+        zv_bits: bit width of the Z-value (twice the grid bits).
+        sv_scale: fixed-point scale applied to sequence values.
+    """
+
+    tid_count: int
+    sv_bits: int = DEFAULT_SV_BITS
+    zv_bits: int = 20
+    sv_scale: int = DEFAULT_SV_SCALE
+
+    def __post_init__(self):
+        if self.tid_count < 1:
+            raise ValueError("tid_count must be at least 1")
+        if self.sv_bits < 1 or self.zv_bits < 1:
+            raise ValueError("sv_bits and zv_bits must be positive")
+        if self.sv_scale < 1:
+            raise ValueError("sv_scale must be at least 1")
+
+    @property
+    def tid_bits(self) -> int:
+        """Bits needed for the partition id field."""
+        return max(1, (self.tid_count - 1).bit_length())
+
+    @property
+    def total_bits(self) -> int:
+        """Width of a complete PEB-key."""
+        return self.tid_bits + self.sv_bits + self.zv_bits
+
+    @property
+    def key_bytes(self) -> int:
+        """Byte width a B+-tree must reserve for these keys."""
+        return (self.total_bits + 7) // 8
+
+    def quantize_sv(self, sv: float) -> int:
+        """Order-preserving fixed-point image of a sequence value."""
+        if sv < 0:
+            raise ValueError(f"sequence values must be non-negative, got {sv}")
+        quantized = round(sv * self.sv_scale)
+        if quantized.bit_length() > self.sv_bits:
+            raise ValueError(
+                f"sequence value {sv} does not fit in {self.sv_bits} bits "
+                f"at scale {self.sv_scale}"
+            )
+        return quantized
+
+    def compose(self, tid: int, sv: float, zv: int) -> int:
+        """Equation 5: concatenate the three binary components."""
+        return self.compose_quantized(tid, self.quantize_sv(sv), zv)
+
+    def compose_quantized(self, tid: int, sv_q: int, zv: int) -> int:
+        """Compose from an already-quantized sequence value."""
+        if not 0 <= tid < self.tid_count:
+            raise ValueError(f"tid {tid} outside [0, {self.tid_count})")
+        if zv.bit_length() > self.zv_bits:
+            raise ValueError(f"zv {zv} does not fit in {self.zv_bits} bits")
+        if zv < 0 or sv_q < 0:
+            raise ValueError("key components must be non-negative")
+        return ((tid << self.sv_bits) | sv_q) << self.zv_bits | zv
+
+    def decompose(self, key: int) -> tuple[int, int, int]:
+        """Split a key into ``(tid, quantized_sv, zv)``."""
+        zv = key & ((1 << self.zv_bits) - 1)
+        rest = key >> self.zv_bits
+        sv_q = rest & ((1 << self.sv_bits) - 1)
+        tid = rest >> self.sv_bits
+        return tid, sv_q, zv
+
+    def search_range(
+        self, tid: int, sv: float, z_lo: int, z_hi: int
+    ) -> tuple[int, int]:
+        """Key interval ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.
+
+        These are the per-(SV, Z-interval) search ranges of Section 5.3.
+        """
+        sv_q = self.quantize_sv(sv)
+        return (
+            self.compose_quantized(tid, sv_q, z_lo),
+            self.compose_quantized(tid, sv_q, z_hi),
+        )

@@ -1,0 +1,162 @@
+"""The Policy-Embedded Bx-tree (Section 5.2).
+
+A leaf entry is ``<PEB_key, UID, x, y, vx, vy, t, Pntp>``; the key packs
+``[TID]2 ⊕ [SV]2 ⊕ [ZV]2`` so "users who have policies related to one
+another will tend to be stored close to each other, which reduces the
+cost of processing privacy-aware queries".
+
+Insertion and deletion are plain B+-tree operations — "the PEB-tree has
+similarly efficient update performance as the B+-tree" — with the same
+in-memory update memo the Bx-tree keeps (uid -> current key) so an update
+deletes exactly the stale entry.
+"""
+
+from __future__ import annotations
+
+from repro.btree.tree import BPlusTree, BTreeConfig
+from repro.core.peb_key import DEFAULT_SV_BITS, DEFAULT_SV_SCALE, PEBKeyCodec
+from repro.motion.objects import MovingObject, ObjectRecordCodec
+from repro.motion.partitions import TimePartitioner
+from repro.policy.store import PolicyStore
+from repro.spatial.grid import Grid
+from repro.storage.buffer import BufferPool
+
+
+class PEBTree:
+    """Moving-object index over PEB-keys.
+
+    Args:
+        pool: buffer pool (and disk) this index owns.
+        grid: space grid for the Z-curve mapping.
+        partitioner: time partitioning (Δt_mu and n).
+        store: policy directory; must already carry the sequence values
+            produced by :func:`repro.core.sequencing.assign_sequence_values`.
+        sv_bits, sv_scale: sequence-value packing parameters.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        grid: Grid,
+        partitioner: TimePartitioner,
+        store: PolicyStore,
+        sv_bits: int = DEFAULT_SV_BITS,
+        sv_scale: int = DEFAULT_SV_SCALE,
+    ):
+        self.grid = grid
+        self.partitioner = partitioner
+        self.store = store
+        self.codec = PEBKeyCodec(
+            tid_count=partitioner.num_partitions,
+            sv_bits=sv_bits,
+            zv_bits=grid.zv_bits,
+            sv_scale=sv_scale,
+        )
+        self.records = ObjectRecordCodec()
+        config = BTreeConfig(
+            key_bytes=self.codec.key_bytes,
+            value_bytes=ObjectRecordCodec.SIZE,
+            page_size=pool.disk.page_size,
+        )
+        self.btree = BPlusTree(pool, config)
+        self._live_keys: dict[int, int] = {}
+        self.max_speed_x = 0.0
+        self.max_speed_y = 0.0
+
+    @classmethod
+    def attach(
+        cls,
+        btree: BPlusTree,
+        grid: Grid,
+        partitioner: TimePartitioner,
+        store: PolicyStore,
+        codec: PEBKeyCodec,
+        live_keys: dict[int, int],
+        max_speed_x: float,
+        max_speed_y: float,
+    ) -> "PEBTree":
+        """Bind to an already-built index (the checkpoint-restore path).
+
+        No pages are allocated; the supplied B+-tree, codec, and update
+        memo are adopted verbatim.  See :mod:`repro.core.checkpoint`.
+        """
+        tree = cls.__new__(cls)
+        tree.grid = grid
+        tree.partitioner = partitioner
+        tree.store = store
+        tree.codec = codec
+        tree.records = ObjectRecordCodec()
+        tree.btree = btree
+        tree._live_keys = dict(live_keys)
+        tree.max_speed_x = max_speed_x
+        tree.max_speed_y = max_speed_y
+        return tree
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, obj: MovingObject, pntp: int = 0) -> None:
+        """Index a user's state as of its label timestamp."""
+        if obj.uid in self._live_keys:
+            raise KeyError(f"user {obj.uid} is already indexed; use update()")
+        key = self.key_for(obj)
+        self.btree.insert(key, obj.uid, self.records.pack(obj, pntp))
+        self._live_keys[obj.uid] = key
+        self.max_speed_x = max(self.max_speed_x, abs(obj.vx))
+        self.max_speed_y = max(self.max_speed_y, abs(obj.vy))
+
+    def delete(self, uid: int) -> bool:
+        """Remove a user's entry; True if the user was indexed."""
+        key = self._live_keys.pop(uid, None)
+        if key is None:
+            return False
+        removed = self.btree.delete(key, uid)
+        if not removed:
+            raise RuntimeError(f"update memo out of sync for user {uid}")
+        return True
+
+    def update(self, obj: MovingObject, pntp: int = 0) -> None:
+        """Replace a user's entry with a new state (delete + insert)."""
+        self.delete(obj.uid)
+        self.insert(obj, pntp)
+
+    def key_for(self, obj: MovingObject) -> int:
+        """The PEB-key for the object's current state (Equation 5)."""
+        label = self.partitioner.label_timestamp(obj.t_update)
+        tid = self.partitioner.partition_of_label(label)
+        x, y = obj.position_at(label)
+        zv = self.grid.z_value(x, y)
+        sv = self.store.sequence_value(obj.uid)
+        return self.codec.compose(tid, sv, zv)
+
+    def contains(self, uid: int) -> bool:
+        return uid in self._live_keys
+
+    def __len__(self) -> int:
+        return len(self._live_keys)
+
+    @property
+    def stats(self):
+        """I/O counters of the underlying disk."""
+        return self.btree.pool.stats
+
+    def fetch_all(self) -> list[MovingObject]:
+        """Every indexed object state (diagnostic full scan)."""
+        return [self.records.unpack(value)[0] for _, _, value in self.btree.items()]
+
+    # ------------------------------------------------------------------
+    # Scan primitive shared by PRQ and PkNN
+    # ------------------------------------------------------------------
+
+    def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
+        """Yield object states with this exact (quantized) SV and a
+        Z-value in ``[z_lo, z_hi]`` inside partition ``tid``.
+
+        One search range of Section 5.3:
+        ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.
+        """
+        lo, hi = self.codec.search_range(tid, sv, z_lo, z_hi)
+        for _, _, payload in self.btree.scan_range(lo, hi):
+            obj, _ = self.records.unpack(payload)
+            yield obj

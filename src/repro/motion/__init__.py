@@ -1,0 +1,27 @@
+"""Moving-object model.
+
+"We represent the position of a moving object as a linear function from
+time to point locations in two-dimensional Euclidean space:
+x(t) = x + v (t - tu)" (Section 2.1).  An object is the triple
+``(x, v, tu)``; it issues an update when its actual position deviates
+from the prediction by more than a threshold, and at latest every
+maximum-update-interval Δt_mu.
+
+* :mod:`repro.motion.objects` — the object triple, extrapolation, and the
+  fixed-width leaf-record codec shared by the Bx-tree and PEB-tree.
+* :mod:`repro.motion.partitions` — label timestamps and index partitions
+  (Equation 2 and Figure 1).
+* :mod:`repro.motion.update_policy` — deviation/deadline update triggers
+  used by the workload generators.
+"""
+
+from repro.motion.objects import MovingObject, ObjectRecordCodec
+from repro.motion.partitions import TimePartitioner
+from repro.motion.update_policy import UpdatePolicy
+
+__all__ = [
+    "MovingObject",
+    "ObjectRecordCodec",
+    "TimePartitioner",
+    "UpdatePolicy",
+]

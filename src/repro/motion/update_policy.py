@@ -1,0 +1,52 @@
+"""Update triggers for moving objects.
+
+"An object issues a location update to the server when the deviation
+between its actual location and the predicted location based on its
+moving function exceeds a given threshold.  Objects are required to issue
+an update at least once within a maximum update time Δt_mu" (Section 2.1).
+
+The workload generators consult an :class:`UpdatePolicy` while simulating
+movement to decide when each object reports in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.motion.objects import MovingObject
+from repro.spatial.geometry import euclidean
+
+
+@dataclass(frozen=True)
+class UpdatePolicy:
+    """Deviation-threshold plus deadline update rule.
+
+    Args:
+        deviation_threshold: maximum tolerated distance between the true
+            position and the server's linear prediction.
+        max_update_interval: Δt_mu — the hard deadline between updates.
+    """
+
+    deviation_threshold: float = 5.0
+    max_update_interval: float = 120.0
+
+    def __post_init__(self):
+        if self.deviation_threshold < 0:
+            raise ValueError("deviation_threshold must be non-negative")
+        if self.max_update_interval <= 0:
+            raise ValueError("max_update_interval must be positive")
+
+    def must_update(
+        self, served: MovingObject, true_x: float, true_y: float, now: float
+    ) -> bool:
+        """True if the object must report at ``now``.
+
+        Args:
+            served: the state the server currently holds for the object.
+            true_x, true_y: the object's actual position at ``now``.
+            now: current simulation time.
+        """
+        if now - served.t_update >= self.max_update_interval:
+            return True
+        pred_x, pred_y = served.position_at(now)
+        return euclidean(pred_x, pred_y, true_x, true_y) > self.deviation_threshold

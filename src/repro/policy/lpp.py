@@ -1,0 +1,60 @@
+"""The Location-Privacy Policy record and its runtime evaluation.
+
+Definition 1: ``P(u1 -> u2) = <role, locr, tint>`` — user ``u2`` in
+relationship ``role`` to ``u1`` may see ``u1``'s location while ``u1`` is
+inside ``locr`` during ``tint``.
+
+A policy's ``locr`` may be a semantic name (translated through
+:class:`repro.policy.translation.SemanticLocationRegistry` when the
+policy enters the store) or a Euclidean :class:`repro.spatial.Rect`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.policy.timeset import DEFAULT_TIME_DOMAIN, TimeInterval, TimeSet, fold
+from repro.spatial.geometry import Rect
+
+
+@dataclass(frozen=True)
+class LocationPrivacyPolicy:
+    """One LPP owned by ``owner``.
+
+    Attributes:
+        owner: the protected user (``u1`` in Definition 1).
+        role: relationship name granting visibility; resolved against the
+            owner's role definitions.
+        locr: region within which the owner is visible.
+        tint: time interval(s) during which the owner is visible.
+    """
+
+    owner: int
+    role: str
+    locr: Rect
+    tint: TimeInterval | TimeSet
+
+    @property
+    def region_area(self) -> float:
+        """|locr| — used in the one-way compatibility formula."""
+        return self.locr.area
+
+    @property
+    def time_duration(self) -> float:
+        """|tint| — used in the one-way compatibility formula."""
+        return self.tint.duration
+
+    def admits(
+        self,
+        x: float,
+        y: float,
+        t: float,
+        time_domain: float = DEFAULT_TIME_DOMAIN,
+    ) -> bool:
+        """Condition (2) of Definition 2: owner at ``(x, y)`` visible at ``t``.
+
+        The role check is *not* performed here — the store resolves roles
+        once per (owner, viewer) pair; this method evaluates only the
+        spatio-temporal conditions against the owner's current location.
+        """
+        return self.locr.contains(x, y) and self.tint.contains(fold(t, time_domain))

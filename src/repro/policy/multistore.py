@@ -1,0 +1,119 @@
+"""A policy directory allowing multiple policies per (owner, viewer) pair.
+
+The base :class:`repro.policy.store.PolicyStore` enforces the Section 7.4
+experimental assumption — "each user has only one location privacy policy
+with respect to a particular user".  Real deployments break it routinely:
+Bob may let colleagues see him downtown during work hours *and* near the
+office gym in the early evening.  This store lifts the restriction and
+plugs the generalized set-compatibility of
+:mod:`repro.core.multipolicy` into the sequence-value encoder, realizing
+the paper's first future-work item (Section 8).
+
+Every query-side operation keeps Definition 2's semantics under the
+natural reading for sets: a viewer may see the owner when *any* of the
+owner's policies toward the viewer admits the owner's current
+space-time position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.store import PolicyStore
+
+
+class MultiPolicyStore(PolicyStore):
+    """Policy directory with policy *lists* per (owner, viewer) pair.
+
+    The friend lists, sequence values, and role registry behave exactly
+    as in the base store; only policy storage, evaluation, and pair
+    compatibility change.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Same key space as the base store, but each value is the full
+        # list of policies the owner holds about the viewer.
+        self._policies: dict[tuple[int, int], list[LocationPrivacyPolicy]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_policy(
+        self, policy: LocationPrivacyPolicy, members: Iterable[int]
+    ) -> None:
+        """Install a policy for every member; duplicates stack up.
+
+        Unlike the base store, a second policy for the same (owner,
+        viewer) pair is appended rather than rejected.
+        """
+        locr = self.locations.resolve(policy.locr)
+        if locr is not policy.locr:
+            policy = LocationPrivacyPolicy(
+                owner=policy.owner, role=policy.role, locr=locr, tint=policy.tint
+            )
+        for viewer in members:
+            if viewer == policy.owner:
+                raise ValueError(f"user {viewer} cannot hold a policy about itself")
+            self.roles.assign(policy.owner, policy.role, viewer)
+            self._policies.setdefault((policy.owner, viewer), []).append(policy)
+            self._owners_by_viewer[viewer].add(policy.owner)
+            self._viewers_by_owner[policy.owner].add(viewer)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def policies_for(
+        self, owner: int, viewer: int
+    ) -> tuple[LocationPrivacyPolicy, ...]:
+        """All policies ``owner`` holds about ``viewer`` (may be empty)."""
+        return tuple(self._policies.get((owner, viewer), ()))
+
+    def policy_for(self, owner: int, viewer: int) -> LocationPrivacyPolicy | None:
+        """The single policy for the pair — refuses to pick among several.
+
+        Retained for drop-in compatibility with single-policy callers;
+        code aware of this store should use :meth:`policies_for`.
+        """
+        policies = self._policies.get((owner, viewer))
+        if policies is None:
+            return None
+        if len(policies) > 1:
+            raise LookupError(
+                f"user {owner} holds {len(policies)} policies about "
+                f"{viewer}; use policies_for()"
+            )
+        return policies[0]
+
+    def evaluate(self, owner: int, viewer: int, x: float, y: float, t: float) -> bool:
+        """Definition-2 check: any of the owner's policies may admit."""
+        policies = self._policies.get((owner, viewer))
+        if not policies:
+            return False
+        return any(
+            policy.admits(x, y, t, self.time_domain) for policy in policies
+        )
+
+    def policy_count(self) -> int:
+        """Total number of installed policies (not pairs)."""
+        return sum(len(policies) for policies in self._policies.values())
+
+    def pair_count(self) -> int:
+        """Number of directed (owner, viewer) pairs holding policies."""
+        return len(self._policies)
+
+    def pair_compatibility(self, u: int, v: int, space_area: float):
+        """Set-compatibility over all policies between ``u`` and ``v``."""
+        # Imported here: repro.core.multipolicy imports repro.policy.lpp,
+        # so a module-level import would cycle through the packages.
+        from repro.core.multipolicy import set_compatibility
+
+        return set_compatibility(
+            self.policies_for(u, v),
+            self.policies_for(v, u),
+            space_area,
+            self.time_domain,
+        )

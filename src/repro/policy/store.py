@@ -1,0 +1,180 @@
+"""The server-side policy directory.
+
+The server "has access to all users' privacy policies" (Section 3).  The
+store resolves roles once so queries can ask directly for the policy one
+user holds about another, and it maintains the per-user *friend lists*
+of Section 5.3: "we maintain a list for each user that stores the SV
+values of users who have policies with respect to the list owner",
+sorted ascending by SV.
+
+Following Section 7.4 we assume at most one policy per (owner, viewer)
+pair; :meth:`add_policy` rejects duplicates so experiments cannot
+silently double-count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.roles import RoleRegistry
+from repro.policy.timeset import DEFAULT_TIME_DOMAIN
+from repro.policy.translation import SemanticLocationRegistry
+
+
+class PolicyStore:
+    """All users' policies, role definitions, and SV friend lists.
+
+    Args:
+        time_domain: length of the cyclic time domain policies live on.
+        locations: semantic-location registry used to translate policies
+            whose ``locr`` is a name; optional when all policies are
+            already Euclidean.
+    """
+
+    def __init__(
+        self,
+        time_domain: float = DEFAULT_TIME_DOMAIN,
+        locations: SemanticLocationRegistry | None = None,
+    ):
+        self.time_domain = time_domain
+        self.locations = locations if locations is not None else SemanticLocationRegistry()
+        self.roles = RoleRegistry()
+        self._policies: dict[tuple[int, int], LocationPrivacyPolicy] = {}
+        self._owners_by_viewer: dict[int, set[int]] = defaultdict(set)
+        self._viewers_by_owner: dict[int, set[int]] = defaultdict(set)
+        self._sequence_values: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_policy(
+        self, policy: LocationPrivacyPolicy, members: Iterable[int]
+    ) -> None:
+        """Install a policy and the role membership that scopes it.
+
+        Args:
+            policy: the LPP; a semantic ``locr`` is translated here.
+            members: uids the owner places in ``policy.role``.  One policy
+                per (owner, viewer) pair (Section 7.4).
+        """
+        locr = self.locations.resolve(policy.locr)
+        if locr is not policy.locr:
+            policy = LocationPrivacyPolicy(
+                owner=policy.owner, role=policy.role, locr=locr, tint=policy.tint
+            )
+        for viewer in members:
+            if viewer == policy.owner:
+                raise ValueError(f"user {viewer} cannot hold a policy about itself")
+            pair = (policy.owner, viewer)
+            if pair in self._policies:
+                raise ValueError(
+                    f"duplicate policy: user {policy.owner} already has a "
+                    f"policy for viewer {viewer}"
+                )
+            self.roles.assign(policy.owner, policy.role, viewer)
+            self._policies[pair] = policy
+            self._owners_by_viewer[viewer].add(policy.owner)
+            self._viewers_by_owner[policy.owner].add(viewer)
+
+    def set_sequence_values(self, sequence_values: dict[int, float]) -> None:
+        """Attach the SV assignment produced by the policy encoder."""
+        self._sequence_values = dict(sequence_values)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def policy_for(self, owner: int, viewer: int) -> LocationPrivacyPolicy | None:
+        """The policy ``P(owner -> viewer)``, or None."""
+        return self._policies.get((owner, viewer))
+
+    def policies_for(self, owner: int, viewer: int) -> tuple[LocationPrivacyPolicy, ...]:
+        """All policies for the pair — zero or one in the base store.
+
+        Uniform access shared with the multi-policy store so query code
+        (e.g. the continuous monitor) need not care which directory it
+        runs against.
+        """
+        policy = self._policies.get((owner, viewer))
+        return () if policy is None else (policy,)
+
+    def evaluate(self, owner: int, viewer: int, x: float, y: float, t: float) -> bool:
+        """Full Definition-2 policy condition for ``owner`` seen by ``viewer``.
+
+        True when the owner has a policy whose role covers the viewer, the
+        owner's location ``(x, y)`` is inside ``locr``, and ``t`` falls in
+        ``tint``.
+        """
+        policy = self._policies.get((owner, viewer))
+        if policy is None:
+            return False
+        return policy.admits(x, y, t, self.time_domain)
+
+    def pair_compatibility(self, u: int, v: int, space_area: float):
+        """C(u, v) for the pair, per this store's policy semantics.
+
+        The base store applies the single-policy Equation 4 of
+        Section 5.1; :class:`repro.policy.multistore.MultiPolicyStore`
+        overrides this with the set-compatibility generalization.  The
+        sequence-value encoder dispatches through this method so the same
+        Figure 5 algorithm serves both stores.
+        """
+        # Imported here: repro.core.compatibility imports repro.policy.lpp,
+        # so a module-level import would cycle through the packages.
+        from repro.core.compatibility import compatibility
+
+        return compatibility(
+            self.policy_for(u, v), self.policy_for(v, u), space_area, self.time_domain
+        )
+
+    def sequence_value(self, uid: int) -> float:
+        """SV of a user (KeyError until the encoder ran)."""
+        return self._sequence_values[uid]
+
+    def friend_list(self, viewer: int) -> list[tuple[float, int]]:
+        """Users with a policy about ``viewer``, sorted ascending by SV.
+
+        Returns ``(sv, owner_uid)`` pairs — the friend list the PRQ and
+        PkNN algorithms consume (Figures 7 and 10).
+        """
+        owners = self._owners_by_viewer.get(viewer, ())
+        pairs = [(self._sequence_values[owner], owner) for owner in owners]
+        pairs.sort()
+        return pairs
+
+    def owners_granting(self, viewer: int) -> frozenset[int]:
+        """Uids holding a policy about ``viewer`` (unsorted, no SVs)."""
+        return frozenset(self._owners_by_viewer.get(viewer, ()))
+
+    def viewers_of(self, owner: int) -> frozenset[int]:
+        """Uids the owner has granted (possibly conditional) visibility."""
+        return frozenset(self._viewers_by_owner.get(owner, ()))
+
+    def related_pairs(self) -> Iterator[tuple[int, int]]:
+        """Unordered user pairs connected by at least one policy.
+
+        Each pair is yielded once with ``u < v``.  These are the only
+        pairs with non-zero compatibility, so the policy encoder iterates
+        them instead of the full N^2 pair space.
+        """
+        seen: set[tuple[int, int]] = set()
+        for owner, viewer in self._policies:
+            pair = (owner, viewer) if owner < viewer else (viewer, owner)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+    def policy_count(self) -> int:
+        """Total number of (owner, viewer) policy edges."""
+        return len(self._policies)
+
+    def all_users(self) -> frozenset[int]:
+        """Every uid appearing as owner or viewer of some policy."""
+        users: set[int] = set()
+        for owner, viewer in self._policies:
+            users.add(owner)
+            users.add(viewer)
+        return frozenset(users)

@@ -1,0 +1,53 @@
+"""Semantic-location translation.
+
+"In policy translation, the semantic locations defined in an LPP are
+mapped to Euclidean regions" (Section 5.1).  Users write policies against
+named places ("Chicago", "campus", "downtown"); the server resolves those
+names to rectangles in the indexed space before any geometric reasoning.
+"""
+
+from __future__ import annotations
+
+from repro.spatial.geometry import Rect
+
+
+class UnknownLocationError(KeyError):
+    """Raised when a policy names a semantic location nobody registered."""
+
+
+class SemanticLocationRegistry:
+    """Mapping from semantic place names to Euclidean regions."""
+
+    def __init__(self):
+        self._regions: dict[str, Rect] = {}
+
+    def register(self, name: str, region: Rect) -> None:
+        """Bind a place name to a region (overwrites an existing binding)."""
+        if not name:
+            raise ValueError("location name must be non-empty")
+        self._regions[name] = region
+
+    def resolve(self, location: str | Rect) -> Rect:
+        """Translate a policy's ``locr`` to a rectangle.
+
+        Policies may carry either a name (translated here) or an already
+        Euclidean region (returned unchanged), so programmatically built
+        policies skip the registry.
+        """
+        if isinstance(location, Rect):
+            return location
+        try:
+            return self._regions[location]
+        except KeyError:
+            raise UnknownLocationError(
+                f"semantic location {location!r} is not registered"
+            ) from None
+
+    def known_names(self) -> list[str]:
+        return sorted(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)

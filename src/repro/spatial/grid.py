@@ -1,0 +1,123 @@
+"""Mapping between continuous space and the space-filling-curve grid.
+
+The experiments use a square space of side 1000 (Section 7.1).  A
+``Grid`` divides it into ``2**bits`` cells per axis, converts continuous
+coordinates to cell indexes, encodes locations on a space-filling curve
+(the paper's Z-curve by default, Hilbert as an ablation), and decomposes
+(enlarged, possibly out-of-bounds) query rectangles into curve-value
+intervals, clipping to the space first.
+"""
+
+from __future__ import annotations
+
+from repro.spatial.curves import ZCURVE, curve_decompose, curve_span
+from repro.spatial.decompose import ZInterval, decompose_rect
+from repro.spatial.geometry import Rect
+
+#: Default grid resolution; 2**10 cells per axis over a side-1000 space
+#: gives cells just under one space unit across.
+DEFAULT_GRID_BITS = 10
+
+
+class Grid:
+    """A ``2**bits`` x ``2**bits`` cell grid over a square space.
+
+    Args:
+        space_side: side length of the (square) space domain.
+        bits: per-axis resolution in bits.
+        curve: space-filling curve linearizing the cells; defaults to the
+            paper's Z-curve.  Any :mod:`repro.spatial.curves` curve works —
+            the ``z_value``/``z_span`` method names are kept for
+            continuity with the paper's ZV notation even when the curve
+            is not Z.
+    """
+
+    def __init__(self, space_side: float, bits: int = DEFAULT_GRID_BITS, curve=ZCURVE):
+        if space_side <= 0:
+            raise ValueError(f"space_side must be positive, got {space_side}")
+        if bits <= 0 or bits > 32:
+            raise ValueError(f"bits must be in 1..32, got {bits}")
+        self.space_side = float(space_side)
+        self.bits = bits
+        self.curve = curve
+        self.cells_per_axis = 1 << bits
+        self.cell_size = self.space_side / self.cells_per_axis
+
+    @property
+    def zv_bits(self) -> int:
+        """Bit width of a curve value on this grid."""
+        return 2 * self.bits
+
+    @property
+    def max_z(self) -> int:
+        """Largest curve value on this grid."""
+        return (1 << self.zv_bits) - 1
+
+    @property
+    def bounds(self) -> Rect:
+        """The full space domain as a rectangle."""
+        return Rect(0.0, self.space_side, 0.0, self.space_side)
+
+    def cell_of(self, coordinate: float) -> int:
+        """Cell index of one axis coordinate, clamped into the grid."""
+        cell = int(coordinate / self.cell_size)
+        return min(max(cell, 0), self.cells_per_axis - 1)
+
+    def z_value(self, x: float, y: float) -> int:
+        """Curve value of the cell containing ``(x, y)`` (clamped into space)."""
+        return self.curve.encode(self.cell_of(x), self.cell_of(y), self.bits)
+
+    def cell_box(self, rect: Rect) -> tuple[int, int, int, int]:
+        """Inclusive cell-index bounds of all cells intersecting ``rect``."""
+        return (
+            self.cell_of(rect.x_lo),
+            self.cell_of(rect.x_hi),
+            self.cell_of(rect.y_lo),
+            self.cell_of(rect.y_hi),
+        )
+
+    def decompose(self, rect: Rect, coarsen: bool = False) -> list[ZInterval]:
+        """Curve intervals covering every cell that intersects ``rect``.
+
+        The rectangle is clipped to the space domain first (enlarged query
+        windows routinely overhang the space boundary).
+
+        With ``coarsen=True`` the quadtree descent stops at roughly 1/8 of
+        the window's cell extent, emitting a bounded number of slightly
+        over-covering intervals — the query algorithms use this to keep
+        the interval count (and hence the number of B+-tree descents)
+        independent of the grid resolution.
+        """
+        clipped = rect.intersection(self.bounds)
+        if clipped is None:
+            return []
+        ix_lo, ix_hi, iy_lo, iy_hi = self.cell_box(clipped)
+        min_quad = 1
+        if coarsen:
+            extent = max(ix_hi - ix_lo + 1, iy_hi - iy_lo + 1)
+            while min_quad * 16 <= extent:
+                min_quad *= 2
+        if self.curve is ZCURVE:
+            # Fast path: the Z descent emits in curve order, no final sort.
+            return decompose_rect(ix_lo, ix_hi, iy_lo, iy_hi, self.bits, min_quad)
+        return curve_decompose(
+            self.curve, ix_lo, ix_hi, iy_lo, iy_hi, self.bits, min_quad
+        )
+
+    def z_span(self, rect: Rect) -> ZInterval | None:
+        """The single ``(min, max)`` curve window of a rectangle.
+
+        This is the coarse one-interval-per-range form the PkNN algorithm
+        uses (Section 5.4: "we consider only the one interval formed by
+        the minimum and maximum 1-dimensional values of the query range").
+
+        On the Z-curve this is a two-corner lookup (the Morton code is
+        monotone per coordinate); on other curves the window comes from a
+        coarsened decomposition and may over-cover slightly — candidates
+        outside the rectangle are discarded by verification either way.
+        """
+        clipped = rect.intersection(self.bounds)
+        if clipped is None:
+            return None
+        ix_lo, ix_hi, iy_lo, iy_hi = self.cell_box(clipped)
+        return curve_span(self.curve, ix_lo, ix_hi, iy_lo, iy_hi, self.bits)

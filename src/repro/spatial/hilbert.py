@@ -1,0 +1,61 @@
+"""Hilbert curve encoding (extension for the key-layout ablation).
+
+The paper indexes with the Z-curve but cites Moon et al.'s analysis of
+Hilbert clustering [22]; swapping the curve is a natural design-choice
+ablation, exercised in ``benchmarks/bench_ablations.py``.  The classic
+iterative rotate-and-flip algorithm is used.
+"""
+
+from __future__ import annotations
+
+
+def hilbert_encode(ix: int, iy: int, bits: int) -> int:
+    """Hilbert distance of grid cell ``(ix, iy)`` on a ``2**bits`` grid."""
+    _check(ix, iy, bits)
+    rx = ry = 0
+    d = 0
+    x, y = ix, iy
+    s = 1 << (bits - 1)
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _rotate(s, x, y, rx, ry)
+        s //= 2
+    return d
+
+
+def hilbert_decode(d: int, bits: int) -> tuple[int, int]:
+    """Grid cell of a Hilbert distance on a ``2**bits`` grid."""
+    if d < 0 or d >= 1 << (2 * bits):
+        raise ValueError(f"d={d} out of range for {bits}-bit Hilbert curve")
+    x = y = 0
+    t = d
+    s = 1
+    while s < (1 << bits):
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def _rotate(s: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
+    """Rotate/flip a quadrant as the curve orientation requires."""
+    if ry == 0:
+        if rx == 1:
+            x = s - 1 - x
+            y = s - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def _check(ix: int, iy: int, bits: int) -> None:
+    if bits <= 0 or bits > 32:
+        raise ValueError(f"bits must be in 1..32, got {bits}")
+    side = 1 << bits
+    if not (0 <= ix < side and 0 <= iy < side):
+        raise ValueError(f"cell ({ix}, {iy}) outside {side}x{side} grid")

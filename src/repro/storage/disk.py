@@ -1,0 +1,83 @@
+"""A simulated page-addressed disk.
+
+The experiments in the paper run on a disk with 4 KiB pages.  We simulate
+the disk as a mapping from page id to page image and count every physical
+access.  The simulation is deliberately strict: a page image larger than
+:data:`PAGE_SIZE` raises, because an index node that does not fit its page
+would silently corrupt fan-out arithmetic and with it every I/O number the
+benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+from repro.storage.stats import IOStats
+
+#: Disk page size in bytes (Section 7.1: "The disk page size is set at 4K").
+PAGE_SIZE = 4096
+
+
+class PageOverflowError(ValueError):
+    """Raised when a page image exceeds :data:`PAGE_SIZE` bytes."""
+
+
+class SimulatedDisk:
+    """Page-addressed storage with physical I/O accounting.
+
+    Pages are allocated sequentially.  Reads of unwritten pages raise
+    ``KeyError`` — a correctly layered index never reads a page it has not
+    allocated and written.
+
+    Args:
+        page_size: maximum page image size in bytes.
+        stats: shared counter bundle; a fresh one is created if omitted.
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE, stats: IOStats | None = None):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: dict[int, bytes] = {}
+        self._next_page_id = 0
+
+    def allocate(self) -> int:
+        """Reserve a new page id (no I/O is charged for allocation)."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch a page image, charging one physical read."""
+        image = self._pages[page_id]
+        self.stats.physical_reads += 1
+        return image
+
+    def write(self, page_id: int, image: bytes) -> None:
+        """Store a page image, charging one physical write."""
+        if len(image) > self.page_size:
+            raise PageOverflowError(
+                f"page {page_id}: image is {len(image)} bytes, "
+                f"page size is {self.page_size}"
+            )
+        if page_id >= self._next_page_id:
+            raise KeyError(f"page {page_id} was never allocated")
+        self._pages[page_id] = image
+        self.stats.physical_writes += 1
+
+    def free(self, page_id: int) -> None:
+        """Drop a page image (deallocated pages may be read never again)."""
+        self._pages.pop(page_id, None)
+
+    def contains(self, page_id: int) -> bool:
+        """True if the page has been written at least once."""
+        return page_id in self._pages
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently holding an image."""
+        return len(self._pages)
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of page ids handed out so far."""
+        return self._next_page_id

@@ -1,0 +1,136 @@
+"""Failure injection for the storage substrate.
+
+The I/O numbers of the reproduction only mean something if the storage
+stack is *honest* — a tree that silently tolerates lost writes or
+corrupted pages would also silently tolerate bugs in its own fan-out
+arithmetic.  Two wrappers make dishonesty loud:
+
+* :class:`FaultyDisk` — injects read/write failures on a schedule
+  (explicit page ids, every N-th access, or never).  Index code must
+  surface the resulting :class:`DiskFaultError` unchanged; tests then
+  verify the index still answers correctly once the fault clears
+  (no partial state was kept).
+* :class:`ChecksummedDisk` — guards every page image with CRC-32 and
+  raises :class:`CorruptPageError` when a read does not match what was
+  written.  The test hook :meth:`ChecksummedDisk.corrupt` flips a bit in
+  a stored image to prove detection actually happens.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import IOStats
+
+
+class DiskFaultError(IOError):
+    """An injected I/O failure (the simulated medium misbehaved)."""
+
+
+class CorruptPageError(IOError):
+    """A page image failed checksum verification."""
+
+
+class FaultyDisk(SimulatedDisk):
+    """A disk that fails on demand.
+
+    Args:
+        page_size: page image size limit, as in the base disk.
+        stats: shared counters, as in the base disk.
+        fail_read_pages: page ids whose reads always fail.
+        fail_write_pages: page ids whose writes always fail.
+        fail_every_nth_read: if set, every N-th physical read fails
+            (1-based: ``fail_every_nth_read=3`` fails reads 3, 6, 9, ...).
+
+    A failed access raises *before* touching the page store and charges
+    no I/O — the paper's cost accounting counts completed transfers.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        stats: IOStats | None = None,
+        fail_read_pages: set[int] | None = None,
+        fail_write_pages: set[int] | None = None,
+        fail_every_nth_read: int | None = None,
+    ):
+        super().__init__(page_size=page_size, stats=stats)
+        if fail_every_nth_read is not None and fail_every_nth_read < 1:
+            raise ValueError(
+                f"fail_every_nth_read must be >= 1, got {fail_every_nth_read}"
+            )
+        self.fail_read_pages = set(fail_read_pages or ())
+        self.fail_write_pages = set(fail_write_pages or ())
+        self.fail_every_nth_read = fail_every_nth_read
+        self._read_attempts = 0
+        self.injected_faults = 0
+
+    def read(self, page_id: int) -> bytes:
+        self._read_attempts += 1
+        if page_id in self.fail_read_pages:
+            self.injected_faults += 1
+            raise DiskFaultError(f"injected read fault on page {page_id}")
+        if (
+            self.fail_every_nth_read is not None
+            and self._read_attempts % self.fail_every_nth_read == 0
+        ):
+            self.injected_faults += 1
+            raise DiskFaultError(
+                f"injected read fault (attempt #{self._read_attempts})"
+            )
+        return super().read(page_id)
+
+    def write(self, page_id: int, image: bytes) -> None:
+        if page_id in self.fail_write_pages:
+            self.injected_faults += 1
+            raise DiskFaultError(f"injected write fault on page {page_id}")
+        super().write(page_id, image)
+
+    def heal(self) -> None:
+        """Clear every configured fault (the medium recovered)."""
+        self.fail_read_pages.clear()
+        self.fail_write_pages.clear()
+        self.fail_every_nth_read = None
+
+
+class ChecksummedDisk(SimulatedDisk):
+    """A disk that detects torn or corrupted page images via CRC-32."""
+
+    def __init__(self, page_size: int = 4096, stats: IOStats | None = None):
+        super().__init__(page_size=page_size, stats=stats)
+        self._checksums: dict[int, int] = {}
+
+    def write(self, page_id: int, image: bytes) -> None:
+        super().write(page_id, image)
+        self._checksums[page_id] = zlib.crc32(image)
+
+    def read(self, page_id: int) -> bytes:
+        image = super().read(page_id)
+        expected = self._checksums.get(page_id)
+        if expected is not None and zlib.crc32(image) != expected:
+            raise CorruptPageError(
+                f"page {page_id}: checksum mismatch (stored image was altered)"
+            )
+        return image
+
+    def free(self, page_id: int) -> None:
+        super().free(page_id)
+        self._checksums.pop(page_id, None)
+
+    def corrupt(self, page_id: int, bit: int = 0) -> None:
+        """Flip one bit of the stored image (test hook).
+
+        Args:
+            page_id: page to damage; must hold an image.
+            bit: bit offset within the image to flip.
+        """
+        image = bytearray(self._pages[page_id])
+        byte_index, bit_index = divmod(bit, 8)
+        if byte_index >= len(image):
+            raise ValueError(
+                f"bit {bit} beyond page image of {len(image)} bytes"
+            )
+        image[byte_index] ^= 1 << bit_index
+        # Bypass write() so the checksum records the *original* image.
+        self._pages[page_id] = bytes(image)

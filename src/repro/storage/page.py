@@ -1,0 +1,41 @@
+"""Serialization protocol connecting in-memory nodes to disk page images.
+
+The buffer pool caches *deserialized* node objects; the serializer is the
+bridge used on miss (parse) and on dirty eviction / flush (pack).  Keeping
+the protocol abstract here lets the B+-tree define its own node layout in
+``repro.btree.serialization`` without the storage layer knowing about keys
+or fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+
+class PageSerializer(Protocol):
+    """Packs cached objects to page images and back.
+
+    Implementations must round-trip: ``parse(pack(obj))`` reconstructs an
+    object that behaves identically to ``obj``.  ``pack`` must never return
+    more than the disk's page size in bytes.
+    """
+
+    def pack(self, obj: Any) -> bytes:
+        """Serialize ``obj`` into a page image."""
+        ...
+
+    def parse(self, image: bytes) -> Any:
+        """Reconstruct the object stored in ``image``."""
+        ...
+
+
+class RawBytesSerializer:
+    """Identity serializer for callers that already produce ``bytes``."""
+
+    def pack(self, obj: bytes) -> bytes:
+        if not isinstance(obj, (bytes, bytearray)):
+            raise TypeError(f"expected bytes, got {type(obj).__name__}")
+        return bytes(obj)
+
+    def parse(self, image: bytes) -> bytes:
+        return image

@@ -1,0 +1,168 @@
+"""Buffer replacement policies.
+
+Section 7.1 pins the paper's experiments to "a 50-page LRU buffer"; the
+pool therefore defaults to LRU.  Real database systems ship several
+strategies, and how much the *choice* matters for the PEB-tree's access
+pattern (short scans over a few friend SV bands, re-touched across
+queries) is a worthwhile ablation — so the policy is pluggable.
+
+A policy only tracks *page ids* and picks eviction victims; the pool owns
+the frames, dirty set, and write-back.  The contract:
+
+* ``on_admit(page_id)`` — a page entered the pool.
+* ``on_access(page_id)`` — a resident page was touched.
+* ``on_remove(page_id)`` — the pool dropped the page (eviction already
+  decided, or an explicit discard).
+* ``victim()`` — choose the page to evict next (must be resident).
+
+All four policies here are deterministic, so I/O counts are reproducible
+run to run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Protocol
+
+
+class ReplacementPolicy(Protocol):
+    """Victim selection strategy for the buffer pool."""
+
+    name: str
+
+    def on_admit(self, page_id: int) -> None: ...
+
+    def on_access(self, page_id: int) -> None: ...
+
+    def on_remove(self, page_id: int) -> None: ...
+
+    def victim(self) -> int: ...
+
+
+class LRUPolicy:
+    """Evict the least recently used page (the paper's configuration)."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_admit(self, page_id: int) -> None:
+        self._order[page_id] = None
+
+    def on_access(self, page_id: int) -> None:
+        self._order.move_to_end(page_id)
+
+    def on_remove(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+    def victim(self) -> int:
+        if not self._order:
+            raise LookupError("no resident pages to evict")
+        return next(iter(self._order))
+
+
+class FIFOPolicy:
+    """Evict the page resident longest, ignoring accesses."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def on_admit(self, page_id: int) -> None:
+        self._order[page_id] = None
+
+    def on_access(self, page_id: int) -> None:
+        pass  # recency is irrelevant to FIFO
+
+    def on_remove(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+    def victim(self) -> int:
+        if not self._order:
+            raise LookupError("no resident pages to evict")
+        return next(iter(self._order))
+
+
+class ClockPolicy:
+    """Second-chance: a circular sweep clears reference bits until it
+    finds an unreferenced page.
+
+    The classic low-overhead LRU approximation; with every page
+    referenced, the sweep degenerates to FIFO after one full lap.
+    """
+
+    name = "clock"
+
+    def __init__(self):
+        self._ring: OrderedDict[int, bool] = OrderedDict()  # id -> ref bit
+
+    def on_admit(self, page_id: int) -> None:
+        self._ring[page_id] = True
+
+    def on_access(self, page_id: int) -> None:
+        self._ring[page_id] = True
+
+    def on_remove(self, page_id: int) -> None:
+        self._ring.pop(page_id, None)
+
+    def victim(self) -> int:
+        if not self._ring:
+            raise LookupError("no resident pages to evict")
+        while True:
+            page_id, referenced = next(iter(self._ring.items()))
+            if not referenced:
+                return page_id
+            # Clear the bit and rotate the hand past this page.
+            self._ring[page_id] = False
+            self._ring.move_to_end(page_id)
+
+
+class LFUPolicy:
+    """Evict the least frequently used page; FIFO among frequency ties."""
+
+    name = "lfu"
+
+    def __init__(self):
+        self._counts: Counter[int] = Counter()
+        self._arrival: dict[int, int] = {}
+        self._clock = 0
+
+    def on_admit(self, page_id: int) -> None:
+        self._counts[page_id] = 1
+        self._arrival[page_id] = self._clock
+        self._clock += 1
+
+    def on_access(self, page_id: int) -> None:
+        self._counts[page_id] += 1
+
+    def on_remove(self, page_id: int) -> None:
+        self._counts.pop(page_id, None)
+        self._arrival.pop(page_id, None)
+
+    def victim(self) -> int:
+        if not self._counts:
+            raise LookupError("no resident pages to evict")
+        return min(
+            self._counts, key=lambda pid: (self._counts[pid], self._arrival[pid])
+        )
+
+
+#: Registry used by the pool constructor, the harness config, and the CLI.
+POLICIES: dict[str, type] = {
+    LRUPolicy.name: LRUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    ClockPolicy.name: ClockPolicy,
+    LFUPolicy.name: LFUPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a registered replacement policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r}; known: {known}") from None
+    return factory()

@@ -1,0 +1,76 @@
+"""I/O statistics counters shared by the disk and buffer layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Mutable bundle of I/O counters.
+
+    The paper's experiments report the *average I/O cost per query*, where
+    one I/O is one physical page read that the LRU buffer could not serve.
+    Physical writes are tracked as well (dirty evictions and explicit
+    flushes) so that update experiments can report complete numbers.
+
+    Attributes:
+        physical_reads: pages fetched from the simulated disk (buffer misses).
+        physical_writes: pages written back to the simulated disk.
+        logical_reads: page requests made by the index code, hit or miss.
+        logical_writes: page dirty-markings made by the index code.
+    """
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    logical_reads: int = 0
+    logical_writes: int = 0
+    _marks: dict[str, tuple[int, int, int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def reset(self) -> None:
+        """Zero every counter (marks survive so old deltas become invalid)."""
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.logical_reads = 0
+        self.logical_writes = 0
+        self._marks.clear()
+
+    @property
+    def total_io(self) -> int:
+        """Physical reads plus physical writes."""
+        return self.physical_reads + self.physical_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served by the buffer (1.0 if idle)."""
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+    def mark(self, label: str = "default") -> None:
+        """Remember the current counters under ``label`` for later deltas."""
+        self._marks[label] = (
+            self.physical_reads,
+            self.physical_writes,
+            self.logical_reads,
+            self.logical_writes,
+        )
+
+    def reads_since(self, label: str = "default") -> int:
+        """Physical reads accumulated since :meth:`mark` was called."""
+        return self.physical_reads - self._marks.get(label, (0, 0, 0, 0))[0]
+
+    def writes_since(self, label: str = "default") -> int:
+        """Physical writes accumulated since :meth:`mark` was called."""
+        return self.physical_writes - self._marks.get(label, (0, 0, 0, 0))[1]
+
+    def snapshot(self) -> dict[str, int]:
+        """Return an immutable view of the counters for reporting."""
+        return {
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "logical_reads": self.logical_reads,
+            "logical_writes": self.logical_writes,
+        }

@@ -1,0 +1,29 @@
+"""The TPR-tree substrate (Šaltenis et al. [27]).
+
+The R-tree-family moving-object index of the paper's Section 2.1
+taxonomy, built on the same paged storage engine as the B+-tree-family
+indexes.  Used as a *second* spatial baseline for the Section 4
+filtering approach:
+
+* :mod:`repro.tprtree.tpbr` — time-parameterized bounding rectangles;
+* :mod:`repro.tprtree.node` — page-sized leaf/internal nodes;
+* :mod:`repro.tprtree.tree` — the index: area-integral insertion,
+  conservative deletion, range and best-first kNN queries;
+* :mod:`repro.tprtree.filter_baseline` — TPR-tree + policy filter.
+"""
+
+from repro.tprtree.filter_baseline import TPRFilterBaseline
+from repro.tprtree.node import TPRInternal, TPRLeaf, TPRNodeSerializer
+from repro.tprtree.tpbr import TPBR, union_all
+from repro.tprtree.tree import TPRTree, TPRTreeConfig
+
+__all__ = [
+    "TPBR",
+    "TPRFilterBaseline",
+    "TPRInternal",
+    "TPRLeaf",
+    "TPRNodeSerializer",
+    "TPRTree",
+    "TPRTreeConfig",
+    "union_all",
+]

@@ -1,0 +1,210 @@
+"""Time-parameterized bounding rectangles (TPBRs).
+
+The TPR-tree [27] — the R-tree-family representative in the paper's
+Section 2.1 taxonomy — bounds moving objects *conservatively over time*:
+a node's rectangle has position bounds valid at a reference time plus
+velocity bounds, and the rectangle ``bounds_at(t)`` grows with the most
+extreme member velocities.  A TPBR therefore never loses an enclosed
+trajectory: once an object's position and velocity fit, they fit at
+every later time.
+
+This module is pure geometry/algebra; the tree structure lives in
+:mod:`repro.tprtree.tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.motion.objects import MovingObject
+from repro.spatial.geometry import Rect
+
+
+@dataclass(frozen=True)
+class TPBR:
+    """A conservative moving bounding rectangle.
+
+    Attributes:
+        x_lo, x_hi, y_lo, y_hi: position bounds at ``t_ref``.
+        vx_lo, vx_hi, vy_lo, vy_hi: velocity bounds; the lower position
+            bound moves with the lower velocity, the upper with the upper,
+            so the rectangle only ever grows (or keeps its width) as time
+            advances past ``t_ref``.
+        t_ref: the reference time of the position bounds.
+    """
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    vx_lo: float
+    vx_hi: float
+    vy_lo: float
+    vy_hi: float
+    t_ref: float
+
+    def __post_init__(self):
+        if self.x_lo > self.x_hi or self.y_lo > self.y_hi:
+            raise ValueError(f"degenerate position bounds: {self}")
+        if self.vx_lo > self.vx_hi or self.vy_lo > self.vy_hi:
+            raise ValueError(f"degenerate velocity bounds: {self}")
+
+    @classmethod
+    def from_object(cls, obj: MovingObject) -> TPBR:
+        """The degenerate (point) TPBR of one moving object."""
+        return cls(
+            x_lo=obj.x,
+            x_hi=obj.x,
+            y_lo=obj.y,
+            y_hi=obj.y,
+            vx_lo=obj.vx,
+            vx_hi=obj.vx,
+            vy_lo=obj.vy,
+            vy_hi=obj.vy,
+            t_ref=obj.t_update,
+        )
+
+    # ------------------------------------------------------------------
+    # Time evolution
+    # ------------------------------------------------------------------
+
+    def bounds_at(self, t: float) -> Rect:
+        """The conservative rectangle at time ``t`` — any ``t``.
+
+        Forward of ``t_ref`` the lower wall moves with the lower velocity
+        and the upper wall with the upper one.  *Backward* the roles
+        swap: running a member trajectory backwards, the fastest-right
+        member came from furthest left.  Two-sidedness matters because
+        ``union`` advances ``t_ref`` to the later operand's — queries at
+        the current time may then address a slightly earlier instant
+        than a freshly updated entry's reference, and freezing (instead
+        of widening) the walls there would drop valid answers; found by
+        the hypothesis workload test.
+        """
+        dt = t - self.t_ref
+        if dt >= 0.0:
+            return Rect(
+                self.x_lo + self.vx_lo * dt,
+                self.x_hi + self.vx_hi * dt,
+                self.y_lo + self.vy_lo * dt,
+                self.y_hi + self.vy_hi * dt,
+            )
+        return Rect(
+            self.x_lo + self.vx_hi * dt,
+            self.x_hi + self.vx_lo * dt,
+            self.y_lo + self.vy_hi * dt,
+            self.y_hi + self.vy_lo * dt,
+        )
+
+    def as_of(self, t: float) -> TPBR:
+        """The same TPBR re-referenced to a later time ``t``."""
+        if t <= self.t_ref:
+            return self
+        box = self.bounds_at(t)
+        return TPBR(
+            x_lo=box.x_lo,
+            x_hi=box.x_hi,
+            y_lo=box.y_lo,
+            y_hi=box.y_hi,
+            vx_lo=self.vx_lo,
+            vx_hi=self.vx_hi,
+            vy_lo=self.vy_lo,
+            vy_hi=self.vy_hi,
+            t_ref=t,
+        )
+
+    def union(self, other: TPBR) -> TPBR:
+        """The tightest common conservative TPBR of the two.
+
+        Both operands are advanced to the later reference time, then
+        position and velocity bounds are merged by min/max.
+        """
+        t_ref = max(self.t_ref, other.t_ref)
+        a = self.as_of(t_ref)
+        b = other.as_of(t_ref)
+        return TPBR(
+            x_lo=min(a.x_lo, b.x_lo),
+            x_hi=max(a.x_hi, b.x_hi),
+            y_lo=min(a.y_lo, b.y_lo),
+            y_hi=max(a.y_hi, b.y_hi),
+            vx_lo=min(a.vx_lo, b.vx_lo),
+            vx_hi=max(a.vx_hi, b.vx_hi),
+            vy_lo=min(a.vy_lo, b.vy_lo),
+            vy_hi=max(a.vy_hi, b.vy_hi),
+            t_ref=t_ref,
+        )
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    def area_at(self, t: float) -> float:
+        """Area of the conservative rectangle at time ``t``."""
+        return self.bounds_at(t).area
+
+    def area_integral(self, t_from: float, t_to: float) -> float:
+        """∫ area(t) dt over ``[t_from, t_to]`` — the TPR-tree's insertion
+        objective [27] uses the integral over the time horizon.
+
+        Width and height are linear in t, so the area is quadratic and
+        the integral has a closed form.
+        """
+        if t_to < t_from:
+            raise ValueError(f"integral bounds reversed: [{t_from}, {t_to}]")
+        t0 = max(t_from, self.t_ref)
+        if t_to <= t0:
+            return 0.0
+        # width(t) = w0 + wv * (t - t0); height likewise.
+        dt0 = t0 - self.t_ref
+        w0 = (self.x_hi - self.x_lo) + (self.vx_hi - self.vx_lo) * dt0
+        h0 = (self.y_hi - self.y_lo) + (self.vy_hi - self.vy_lo) * dt0
+        wv = self.vx_hi - self.vx_lo
+        hv = self.vy_hi - self.vy_lo
+        span = t_to - t0
+        # ∫ (w0 + wv u)(h0 + hv u) du, u in [0, span]
+        return (
+            w0 * h0 * span
+            + (w0 * hv + h0 * wv) * span**2 / 2.0
+            + wv * hv * span**3 / 3.0
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def intersects_at(self, rect: Rect, t: float) -> bool:
+        """Conservative rectangle-vs-query test at time ``t``."""
+        return self.bounds_at(t).intersects(rect)
+
+    def min_distance_at(self, x: float, y: float, t: float) -> float:
+        """Distance from a point to the conservative rectangle at ``t``."""
+        return self.bounds_at(t).min_distance(x, y)
+
+    def contains_object(self, obj: MovingObject) -> bool:
+        """True when the object's trajectory is enclosed from now on.
+
+        Checked at ``t* = max(t_ref, obj.t_update)``: if the object's
+        position fits the bounds at ``t*`` and its velocity fits the
+        velocity bounds, conservativeness keeps it inside for all later
+        times.  This is the descent test the delete path relies on.
+        """
+        t_star = max(self.t_ref, obj.t_update)
+        x, y = obj.position_at(t_star)
+        box = self.bounds_at(t_star)
+        eps = 1e-9  # float slack: union() arithmetic may round the walls
+        return (
+            box.x_lo - eps <= x <= box.x_hi + eps
+            and box.y_lo - eps <= y <= box.y_hi + eps
+            and self.vx_lo - eps <= obj.vx <= self.vx_hi + eps
+            and self.vy_lo - eps <= obj.vy <= self.vy_hi + eps
+        )
+
+
+def union_all(tpbrs: list[TPBR]) -> TPBR:
+    """Union of a non-empty list of TPBRs."""
+    if not tpbrs:
+        raise ValueError("cannot take the union of zero TPBRs")
+    merged = tpbrs[0]
+    for tpbr in tpbrs[1:]:
+        merged = merged.union(tpbr)
+    return merged

@@ -1,0 +1,26 @@
+"""Synthetic workload generators (Section 7.1).
+
+* :mod:`repro.workloads.uniform` — uniformly distributed users moving in
+  random directions at speeds in ``[0, max_speed]``;
+* :mod:`repro.workloads.network` — network-based movement in the style
+  of the generator of Šaltenis et al. [27]: two-way routes connecting a
+  configurable number of destinations, three speed classes, acceleration
+  out of and deceleration into destinations;
+* :mod:`repro.workloads.policies` — random location-privacy policies
+  with the grouping-factor group structure of Section 6, plus the
+  multi-policy variant for the Section 8 extension;
+* :mod:`repro.workloads.queries` — PRQ / PkNN query workloads.
+"""
+
+from repro.workloads.network import NetworkMovement
+from repro.workloads.policies import MultiPolicyGenerator, PolicyGenerator
+from repro.workloads.queries import QueryGenerator
+from repro.workloads.uniform import UniformMovement
+
+__all__ = [
+    "MultiPolicyGenerator",
+    "NetworkMovement",
+    "PolicyGenerator",
+    "QueryGenerator",
+    "UniformMovement",
+]

@@ -1,0 +1,188 @@
+"""Network-based movement workload.
+
+Re-implementation of the documented behaviour of the moving-object
+generator of Šaltenis et al. [27] used in Section 7.1: "users move in a
+network of two-way routes that connect a varying number of destinations.
+Objects start at random positions on routes and are assigned at random
+to one of three groups of objects with maximum speeds of 0.75, 1.5, and
+3.  Whenever an object reaches one of the destinations, it chooses the
+next target destination at random.  Objects accelerate as they leave a
+destination, and they decelerate as they approach a destination."
+
+The route graph connects every destination to its nearest neighbours
+plus a spatial chain that guarantees connectivity.  Fewer destinations
+concentrate the population on fewer routes — the spatial skew that
+Figure 16 varies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.motion.objects import MovingObject
+
+#: The three object classes of the generator (maximum speeds).
+SPEED_CLASSES = (0.75, 1.5, 3.0)
+
+#: Fraction of an edge over which objects ramp speed up/down at the ends.
+_RAMP_FRACTION = 0.25
+
+#: Slowest fraction of the class maximum (objects never fully stop).
+_MIN_SPEED_FRACTION = 0.2
+
+
+@dataclass
+class _TravelState:
+    """Where one object currently is on the network."""
+
+    origin: int        # destination index the object came from
+    target: int        # destination index the object heads to
+    progress: float    # distance travelled along the current edge
+    vmax: float        # the object's speed-class maximum
+    t: float           # simulation time of this state
+
+
+class NetworkMovement:
+    """Generates and advances objects moving on a destination network.
+
+    Args:
+        space_side: side length of the square space.
+        n_destinations: number of hubs; the paper sweeps 25..500.
+        rng: dedicated random generator.
+        degree: nearest-neighbour edges added per destination.
+    """
+
+    def __init__(
+        self,
+        space_side: float,
+        n_destinations: int,
+        rng: random.Random,
+        degree: int = 3,
+    ):
+        if n_destinations < 2:
+            raise ValueError(f"need at least 2 destinations, got {n_destinations}")
+        self.space_side = space_side
+        self.rng = rng
+        self.max_speed = max(SPEED_CLASSES)
+        self.destinations = [
+            (rng.uniform(0.0, space_side), rng.uniform(0.0, space_side))
+            for _ in range(n_destinations)
+        ]
+        self.neighbors = self._build_routes(degree)
+        self._states: dict[int, _TravelState] = {}
+
+    # ------------------------------------------------------------------
+    # Route graph
+    # ------------------------------------------------------------------
+
+    def _build_routes(self, degree: int) -> list[list[int]]:
+        count = len(self.destinations)
+        adjacency: list[set[int]] = [set() for _ in range(count)]
+        for i, (xi, yi) in enumerate(self.destinations):
+            ranked = sorted(
+                (j for j in range(count) if j != i),
+                key=lambda j: (self.destinations[j][0] - xi) ** 2
+                + (self.destinations[j][1] - yi) ** 2,
+            )
+            for j in ranked[:degree]:
+                adjacency[i].add(j)
+                adjacency[j].add(i)  # routes are two-way
+        # A chain over the spatially sorted hubs keeps the network connected.
+        order = sorted(range(count), key=lambda j: self.destinations[j])
+        for a, b in zip(order, order[1:]):
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return [sorted(peers) for peers in adjacency]
+
+    def _edge_length(self, a: int, b: int) -> float:
+        (xa, ya), (xb, yb) = self.destinations[a], self.destinations[b]
+        return math.hypot(xb - xa, yb - ya)
+
+    # ------------------------------------------------------------------
+    # Object lifecycle
+    # ------------------------------------------------------------------
+
+    def initial_objects(self, count: int, t: float = 0.0) -> list[MovingObject]:
+        """Population of ``count`` objects at random points on routes."""
+        objects = []
+        for uid in range(count):
+            origin = self.rng.randrange(len(self.destinations))
+            target = self.rng.choice(self.neighbors[origin])
+            state = _TravelState(
+                origin=origin,
+                target=target,
+                progress=self.rng.uniform(0.0, self._edge_length(origin, target)),
+                vmax=self.rng.choice(SPEED_CLASSES),
+                t=t,
+            )
+            self._states[uid] = state
+            objects.append(self._emit(uid, state))
+        return objects
+
+    def advance(self, obj: MovingObject, t: float) -> MovingObject:
+        """The object's true state at ``t``, simulated along the network."""
+        state = self._states[obj.uid]
+        remaining = t - state.t
+        if remaining < 0:
+            raise ValueError(f"cannot rewind object {obj.uid} to t={t}")
+        # Integrate in small hops so the trapezoidal speed profile and
+        # junction turns are followed reasonably closely.
+        while remaining > 1e-9:
+            hop = min(remaining, 1.0)
+            self._step(state, hop)
+            remaining -= hop
+        state.t = t
+        return self._emit(obj.uid, state)
+
+    # ------------------------------------------------------------------
+    # Simulation internals
+    # ------------------------------------------------------------------
+
+    def _speed(self, state: _TravelState) -> float:
+        """Trapezoidal profile: slow near both endpoints of the edge."""
+        length = self._edge_length(state.origin, state.target)
+        if length <= 0:
+            return state.vmax * _MIN_SPEED_FRACTION
+        ramp = max(length * _RAMP_FRACTION, 1e-9)
+        end_distance = min(state.progress, length - state.progress)
+        fraction = max(_MIN_SPEED_FRACTION, min(1.0, end_distance / ramp))
+        return state.vmax * fraction
+
+    def _step(self, state: _TravelState, dt: float) -> None:
+        state.progress += self._speed(state) * dt
+        length = self._edge_length(state.origin, state.target)
+        while state.progress >= length:
+            state.progress -= length
+            arrived = state.target
+            choices = self.neighbors[arrived]
+            if len(choices) > 1:
+                next_target = state.origin
+                while next_target == state.origin:
+                    next_target = self.rng.choice(choices)
+            else:
+                next_target = choices[0]
+            state.origin = arrived
+            state.target = next_target
+            length = self._edge_length(state.origin, state.target)
+            if length <= 0:
+                break
+
+    def _emit(self, uid: int, state: _TravelState) -> MovingObject:
+        (xa, ya) = self.destinations[state.origin]
+        (xb, yb) = self.destinations[state.target]
+        length = self._edge_length(state.origin, state.target)
+        if length <= 0:
+            return MovingObject(uid=uid, x=xa, y=ya, vx=0.0, vy=0.0, t_update=state.t)
+        fraction = state.progress / length
+        ux, uy = (xb - xa) / length, (yb - ya) / length
+        speed = self._speed(state)
+        return MovingObject(
+            uid=uid,
+            x=xa + (xb - xa) * fraction,
+            y=ya + (yb - ya) * fraction,
+            vx=ux * speed,
+            vy=uy * speed,
+            t_update=state.t,
+        )

@@ -1,0 +1,81 @@
+"""Query workloads for the experiments.
+
+Range queries use square windows of a configurable side length placed
+uniformly (Table 1 default: side 200 in the 1000 x 1000 space); kNN
+queries are issued from a user's own current location, matching
+Definition 3 where ``qLoc`` is the query issuer's position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.motion.objects import MovingObject
+from repro.spatial.geometry import Rect
+
+
+@dataclass(frozen=True)
+class RangeQuerySpec:
+    """One PRQ instance: issuer, window, query time."""
+
+    q_uid: int
+    window: Rect
+    t_query: float
+
+
+@dataclass(frozen=True)
+class KnnQuerySpec:
+    """One PkNN instance: issuer, issuer location, k, query time."""
+
+    q_uid: int
+    qx: float
+    qy: float
+    k: int
+    t_query: float
+
+
+class QueryGenerator:
+    """Draws random query workloads over a user population."""
+
+    def __init__(self, space_side: float, rng: random.Random):
+        self.space_side = space_side
+        self.rng = rng
+
+    def range_queries(
+        self, uids: list[int], count: int, window_side: float, t_query: float
+    ) -> list[RangeQuerySpec]:
+        """``count`` PRQs with square windows of side ``window_side``."""
+        if window_side <= 0 or window_side > self.space_side:
+            raise ValueError(
+                f"window_side must be in (0, {self.space_side}], got {window_side}"
+            )
+        queries = []
+        for _ in range(count):
+            x_lo = self.rng.uniform(0.0, self.space_side - window_side)
+            y_lo = self.rng.uniform(0.0, self.space_side - window_side)
+            queries.append(
+                RangeQuerySpec(
+                    q_uid=self.rng.choice(uids),
+                    window=Rect(x_lo, x_lo + window_side, y_lo, y_lo + window_side),
+                    t_query=t_query,
+                )
+            )
+        return queries
+
+    def knn_queries(
+        self,
+        states: dict[int, MovingObject],
+        count: int,
+        k: int,
+        t_query: float,
+    ) -> list[KnnQuerySpec]:
+        """``count`` PkNNs issued from users' own current positions."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        issuers = self.rng.choices(sorted(states), k=count)
+        queries = []
+        for uid in issuers:
+            x, y = states[uid].position_at(t_query)
+            queries.append(KnnQuerySpec(q_uid=uid, qx=x, qy=y, k=k, t_query=t_query))
+        return queries

@@ -1,0 +1,73 @@
+"""Uniform movement workload.
+
+"In the uniform datasets, user positions are chosen randomly, and they
+move in randomly chosen directions and at speeds ranging from 0 to 3"
+(Section 7.1).  Objects bounce off the space boundary so the population
+stays inside the domain across update rounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.motion.objects import MovingObject
+
+
+class UniformMovement:
+    """Generates and advances uniformly distributed movers.
+
+    Args:
+        space_side: side length of the square space.
+        max_speed: objects draw a speed uniformly from ``[0, max_speed]``.
+        rng: dedicated random generator (reproducibility).
+    """
+
+    def __init__(self, space_side: float, max_speed: float, rng: random.Random):
+        if max_speed < 0:
+            raise ValueError(f"max_speed must be non-negative, got {max_speed}")
+        self.space_side = space_side
+        self.max_speed = max_speed
+        self.rng = rng
+
+    def initial_objects(self, count: int, t: float = 0.0) -> list[MovingObject]:
+        """Fresh population of ``count`` movers at time ``t``."""
+        return [self._spawn(uid, t) for uid in range(count)]
+
+    def advance(self, obj: MovingObject, t: float) -> MovingObject:
+        """The object's true state at ``t > t_update``: move along the
+        velocity vector, bounce at boundaries, and draw a new heading."""
+        x, y = obj.position_at(t)
+        x, vx_sign = self._bounce(x)
+        y, vy_sign = self._bounce(y)
+        speed = self.rng.uniform(0.0, self.max_speed)
+        heading = self.rng.uniform(0.0, 2.0 * math.pi)
+        return MovingObject(
+            uid=obj.uid,
+            x=x,
+            y=y,
+            vx=vx_sign * speed * math.cos(heading),
+            vy=vy_sign * speed * math.sin(heading),
+            t_update=t,
+        )
+
+    def _spawn(self, uid: int, t: float) -> MovingObject:
+        speed = self.rng.uniform(0.0, self.max_speed)
+        heading = self.rng.uniform(0.0, 2.0 * math.pi)
+        return MovingObject(
+            uid=uid,
+            x=self.rng.uniform(0.0, self.space_side),
+            y=self.rng.uniform(0.0, self.space_side),
+            vx=speed * math.cos(heading),
+            vy=speed * math.sin(heading),
+            t_update=t,
+        )
+
+    def _bounce(self, coordinate: float) -> tuple[float, float]:
+        """Reflect a coordinate back into ``[0, space_side]``."""
+        side = self.space_side
+        if coordinate < 0.0:
+            return min(-coordinate, side), -1.0
+        if coordinate > side:
+            return max(2.0 * side - coordinate, 0.0), -1.0
+        return coordinate, 1.0

@@ -1,0 +1,98 @@
+"""Structural tests for splits, borrows, merges, and root collapse."""
+
+import random
+
+from tests.conftest import make_tree
+
+
+def fill(tree, count, value=b"x" * 16):
+    for key in range(count):
+        tree.insert(key, 0, value)
+
+
+def test_drain_to_empty_collapses_to_single_leaf():
+    tree = make_tree()
+    fill(tree, 500)
+    assert tree.height > 1
+    for key in range(500):
+        assert tree.delete(key, 0)
+    assert len(tree) == 0
+    assert tree.height == 1
+    assert tree.leaf_count == 1
+    tree.check_invariants()
+
+
+def test_reverse_drain():
+    tree = make_tree()
+    fill(tree, 500)
+    for key in reversed(range(500)):
+        assert tree.delete(key, 0)
+    assert len(tree) == 0
+    tree.check_invariants()
+
+
+def test_middle_out_drain_keeps_invariants():
+    tree = make_tree()
+    fill(tree, 400)
+    order = sorted(range(400), key=lambda k: abs(k - 200))
+    for index, key in enumerate(order):
+        assert tree.delete(key, 0)
+        if index % 50 == 0:
+            tree.check_invariants()
+    tree.check_invariants()
+
+
+def test_leaf_chain_consistent_after_heavy_churn():
+    tree = make_tree()
+    rng = random.Random(5)
+    live = set()
+    for _ in range(4000):
+        key = rng.randrange(600)
+        if key in live:
+            assert tree.delete(key, 0)
+            live.remove(key)
+        else:
+            tree.insert(key, 0, b"x" * 16)
+            live.add(key)
+    tree.check_invariants()
+    assert [k for k, _, _ in tree.items()] == sorted(live)
+
+
+def test_interleaved_duplicate_key_churn():
+    """Entries sharing the index key but with distinct uids."""
+    tree = make_tree()
+    rng = random.Random(6)
+    live = set()
+    for _ in range(3000):
+        key = rng.randrange(20)  # few keys -> heavy duplication
+        uid = rng.randrange(200)
+        if (key, uid) in live:
+            assert tree.delete(key, uid)
+            live.remove((key, uid))
+        else:
+            tree.insert(key, uid, b"y" * 16)
+            live.add((key, uid))
+    tree.check_invariants()
+    assert [(k, u) for k, u, _ in tree.items()] == sorted(live)
+
+
+def test_freed_pages_are_released_on_disk():
+    tree = make_tree()
+    fill(tree, 1000)
+    tree.pool.flush()
+    pages_full = tree.pool.disk.page_count
+    for key in range(1000):
+        tree.delete(key, 0)
+    tree.pool.flush()
+    assert tree.pool.disk.page_count < pages_full
+
+
+def test_scan_correct_under_partial_deletion():
+    tree = make_tree()
+    fill(tree, 300)
+    for key in range(0, 300, 3):
+        tree.delete(key, 0)
+    expected = [k for k in range(300) if k % 3 != 0]
+    assert [k for k, _, _ in tree.items()] == expected
+    window = [k for k, _, _ in tree.scan_range(50, 100)]
+    assert window == [k for k in expected if 50 <= k <= 100]

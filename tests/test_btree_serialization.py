@@ -1,0 +1,118 @@
+"""Round-trip and layout tests for B+-tree page images."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree.node import NO_PAGE, InternalNode, LeafNode
+from repro.btree.serialization import BTreeNodeSerializer
+
+
+def test_empty_leaf_round_trip():
+    codec = BTreeNodeSerializer(key_bytes=8, value_bytes=4)
+    node = LeafNode()
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.keys == []
+    assert parsed.values == []
+    assert parsed.next_leaf == NO_PAGE
+
+
+def test_leaf_round_trip_with_entries():
+    codec = BTreeNodeSerializer(key_bytes=4, value_bytes=3)
+    node = LeafNode(
+        keys=[(1, 10), (1, 11), (7, 0)],
+        values=[b"aaa", b"bbb", b"ccc"],
+        next_leaf=42,
+    )
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.keys == node.keys
+    assert parsed.values == node.values
+    assert parsed.next_leaf == 42
+
+
+def test_internal_round_trip():
+    codec = BTreeNodeSerializer(key_bytes=6, value_bytes=0)
+    node = InternalNode(separators=[(5, 1), (9, 2)], children=[10, 11, 12])
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.separators == node.separators
+    assert parsed.children == node.children
+    assert not parsed.is_leaf
+
+
+def test_wrong_value_width_rejected():
+    codec = BTreeNodeSerializer(key_bytes=4, value_bytes=2)
+    node = LeafNode(keys=[(1, 1)], values=[b"toolong"])
+    with pytest.raises(ValueError):
+        codec.pack(node)
+
+
+def test_mismatched_children_rejected():
+    codec = BTreeNodeSerializer(key_bytes=4, value_bytes=0)
+    node = InternalNode(separators=[(1, 1)], children=[1, 2, 3])
+    with pytest.raises(ValueError):
+        codec.pack(node)
+
+
+def test_unknown_node_type_rejected():
+    codec = BTreeNodeSerializer(key_bytes=4, value_bytes=0)
+    with pytest.raises(ValueError):
+        codec.parse(b"\x07\x00\x00")
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        BTreeNodeSerializer(key_bytes=0, value_bytes=4)
+    with pytest.raises(ValueError):
+        BTreeNodeSerializer(key_bytes=4, value_bytes=-1)
+
+
+def test_big_keys_use_full_width():
+    codec = BTreeNodeSerializer(key_bytes=12, value_bytes=0)
+    big = (1 << 95) - 7
+    node = LeafNode(keys=[(big, 0)], values=[b""])
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.keys == [(big, 0)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 64) - 1),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.binary(min_size=5, max_size=5),
+        ),
+        max_size=30,
+    ),
+    next_leaf=st.one_of(st.just(NO_PAGE), st.integers(min_value=0, max_value=1 << 40)),
+)
+def test_leaf_round_trip_property(entries, next_leaf):
+    codec = BTreeNodeSerializer(key_bytes=8, value_bytes=5)
+    node = LeafNode(
+        keys=[(k, u) for k, u, _ in entries],
+        values=[v for _, _, v in entries],
+        next_leaf=next_leaf,
+    )
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.keys == node.keys
+    assert parsed.values == node.values
+    assert parsed.next_leaf == node.next_leaf
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    separators=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 << 48) - 1),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+        ),
+        max_size=20,
+    ),
+)
+def test_internal_round_trip_property(separators):
+    codec = BTreeNodeSerializer(key_bytes=6, value_bytes=0)
+    children = list(range(len(separators) + 1))
+    node = InternalNode(separators=separators, children=children)
+    parsed = codec.parse(codec.pack(node))
+    assert parsed.separators == separators
+    assert parsed.children == children

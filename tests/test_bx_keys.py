@@ -1,0 +1,51 @@
+"""Tests for the Bx-value codec (Equations 1-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bxtree.keys import BxKeyCodec
+
+
+def test_widths():
+    codec = BxKeyCodec(tid_count=3, zv_bits=20)
+    assert codec.tid_bits == 2
+    assert codec.total_bits == 22
+    assert codec.key_bytes == 3
+
+
+def test_compose_decompose():
+    codec = BxKeyCodec(tid_count=3, zv_bits=20)
+    key = codec.compose(2, 12345)
+    assert codec.decompose(key) == (2, 12345)
+
+
+def test_partition_dominates_location():
+    codec = BxKeyCodec(tid_count=3, zv_bits=20)
+    assert codec.compose(1, 0) > codec.compose(0, (1 << 20) - 1)
+
+
+def test_search_range():
+    codec = BxKeyCodec(tid_count=3, zv_bits=8)
+    lo, hi = codec.search_range(1, 10, 20)
+    assert codec.decompose(lo) == (1, 10)
+    assert codec.decompose(hi) == (1, 20)
+
+
+def test_validation():
+    codec = BxKeyCodec(tid_count=2, zv_bits=8)
+    with pytest.raises(ValueError):
+        codec.compose(2, 0)
+    with pytest.raises(ValueError):
+        codec.compose(0, 1 << 9)
+    with pytest.raises(ValueError):
+        BxKeyCodec(tid_count=0, zv_bits=8)
+    with pytest.raises(ValueError):
+        BxKeyCodec(tid_count=2, zv_bits=0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tid=st.integers(0, 4), zv=st.integers(0, (1 << 16) - 1))
+def test_round_trip_property(tid, zv):
+    codec = BxKeyCodec(tid_count=5, zv_bits=16)
+    assert codec.decompose(codec.compose(tid, zv)) == (tid, zv)

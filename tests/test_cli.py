@@ -1,0 +1,167 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+import repro.bench.experiments as experiments_module
+from repro.bench.experiments import REDUCED
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def tiny_preset():
+    """A preset small enough for CLI tests to run in seconds."""
+    return experiments_module.ScalePreset(
+        name="tiny",
+        base=REDUCED.base.scaled(n_users=300, n_policies=5, n_queries=4),
+        user_sweep=(200, 300),
+        policy_sweep=(4, 6),
+        theta_sweep=(0.5, 1.0),
+        window_sweep=(100.0, 300.0),
+        k_sweep=(1, 3),
+        speed_sweep=(1.0, 3.0),
+        destination_sweep=(25,),
+        update_rounds=2,
+        encoding_user_sweep=(100, 200),
+        encoding_policy_sweep=(3, 5),
+    )
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["experiment", "fig99"])
+
+
+def test_experiment_names_cover_every_figure():
+    # Figures 11-18 all runnable individually (19 comes via `report`).
+    assert {"fig11a", "fig11b", "fig12", "fig15a", "fig15b", "fig18"} <= set(
+        EXPERIMENTS
+    )
+
+
+def test_demo_runs_and_verifies(capsys):
+    code = main(
+        [
+            "demo",
+            "--users", "400",
+            "--policies", "8",
+            "--queries", "4",
+            "--k", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PEB-tree" in out
+    assert "speedup" in out
+    assert "verified against brute force" in out
+
+
+def test_demo_accepts_hilbert_and_policies(capsys):
+    code = main(
+        [
+            "demo",
+            "--users", "300",
+            "--policies", "6",
+            "--queries", "3",
+            "--curve", "hilbert",
+            "--buffer-policy", "clock",
+        ]
+    )
+    assert code == 0
+    assert "curve=hilbert" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("encoder", ["figure5", "bfs", "spectral"])
+def test_encode_all_encoders(encoder, capsys):
+    code = main(
+        [
+            "encode",
+            "--users", "200",
+            "--policies", "5",
+            "--encoder", encoder,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert encoder in out
+    assert "SV range" in out
+
+
+def test_encode_deterministic(capsys):
+    def stable_lines(text):
+        # Wall-clock timing legitimately differs between runs.
+        return [line for line in text.splitlines() if "elapsed" not in line]
+
+    main(["encode", "--users", "150", "--policies", "4", "--seed", "3"])
+    first = capsys.readouterr().out
+    main(["encode", "--users", "150", "--policies", "4", "--seed", "3"])
+    second = capsys.readouterr().out
+    assert stable_lines(first) == stable_lines(second)
+
+
+def test_experiment_fig11a(monkeypatch, capsys):
+    monkeypatch.setattr(experiments_module, "scale_preset", tiny_preset)
+    code = main(["experiment", "fig11a"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fig11a" in out
+    assert "n_users" in out
+
+
+def test_experiment_fig15a(monkeypatch, capsys):
+    monkeypatch.setattr(experiments_module, "scale_preset", tiny_preset)
+    code = main(["experiment", "fig15a"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "prq_peb" in out
+    assert "prq_base" in out
+
+
+def test_report_subcommand_wiring(monkeypatch, tmp_path, capsys):
+    """`report` resolves the preset and passes the output path through."""
+    import repro.bench.report as report_module
+
+    calls = {}
+
+    def fake_generate(path, preset):
+        calls["path"] = path
+        calls["preset"] = preset.name
+        return "stub"
+
+    monkeypatch.setattr(report_module, "generate", fake_generate)
+    output = str(tmp_path / "EXP.md")
+    code = main(["report", "--scale", "reduced", "--output", output])
+    assert code == 0
+    assert calls == {"path": output, "preset": "reduced"}
+    assert f"Wrote {output}" in capsys.readouterr().out
+
+
+def test_cost_model_defaults(capsys):
+    code = main(["cost-model"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "estimated PRQ I/O" in out
+
+
+def test_cost_model_custom_inputs(capsys):
+    code = main(
+        [
+            "cost-model",
+            "--users", "10000",
+            "--policies", "10",
+            "--theta", "1.0",
+            "--leaves", "500",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    # theta = 1: Np - Np**theta = 0, so the estimate is the floor of 1.
+    assert "1.00" in out

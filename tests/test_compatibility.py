@@ -1,0 +1,130 @@
+"""Tests for the α score and compatibility degree C (Section 5.1, Eq. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compatibility import compatibility
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.timeset import TimeInterval
+from repro.spatial.geometry import Rect
+
+S = 1000.0 * 1000.0
+T = 1440.0
+
+
+def policy(owner, locr, tint):
+    return LocationPrivacyPolicy(owner=owner, role="friend", locr=locr, tint=tint)
+
+
+def test_no_policies_means_unrelated():
+    result = compatibility(None, None, S, T)
+    assert result.alpha == 0.0
+    assert result.degree == 0.0
+    assert not result.mutual
+    assert not result.related
+
+
+def test_mutual_case_formula():
+    """Overlapping regions and times: α = O/S * D/T, C = (1+α)/2."""
+    p12 = policy(1, Rect(0, 200, 0, 200), TimeInterval(0, 720))
+    p21 = policy(2, Rect(100, 300, 100, 300), TimeInterval(360, 1080))
+    result = compatibility(p12, p21, S, T)
+    expected_alpha = (100 * 100 / S) * (360 / T)
+    assert result.mutual
+    assert result.alpha == pytest.approx(expected_alpha)
+    assert result.degree == pytest.approx((1 + expected_alpha) / 2)
+    assert result.degree > 0.5
+
+
+def test_disjoint_regions_fall_to_one_way_formula():
+    p12 = policy(1, Rect(0, 100, 0, 100), TimeInterval(0, 720))
+    p21 = policy(2, Rect(500, 600, 0, 100), TimeInterval(0, 720))
+    result = compatibility(p12, p21, S, T)
+    expected = 0.5 * (
+        (100 * 100 / S) * (720 / T) + (100 * 100 / S) * (720 / T)
+    )
+    assert not result.mutual
+    assert result.alpha == pytest.approx(expected)
+    assert result.degree == pytest.approx(expected)
+    assert result.degree <= 0.5
+
+
+def test_disjoint_times_fall_to_one_way_formula():
+    p12 = policy(1, Rect(0, 100, 0, 100), TimeInterval(0, 360))
+    p21 = policy(2, Rect(0, 100, 0, 100), TimeInterval(720, 1080))
+    result = compatibility(p12, p21, S, T)
+    assert not result.mutual
+    assert result.degree <= 0.5
+
+
+def test_single_policy_omits_missing_term():
+    p12 = policy(1, Rect(0, 500, 0, 500), TimeInterval(0, 720))
+    result = compatibility(p12, None, S, T)
+    expected = 0.5 * (500 * 500 / S) * (720 / T)
+    assert result.alpha == pytest.approx(expected)
+    assert result.degree == pytest.approx(expected)
+    assert not result.mutual
+    # Symmetric position of the argument.
+    assert compatibility(None, p12, S, T).degree == pytest.approx(expected)
+
+
+def test_mutual_beats_one_way_priority():
+    """Eq. 4's goal: simultaneous visibility scores above 0.5, one-way
+    or disjoint visibility never exceeds 0.5."""
+    mutual = compatibility(
+        policy(1, Rect(0, 10, 0, 10), TimeInterval(0, 1)),
+        policy(2, Rect(0, 10, 0, 10), TimeInterval(0, 1)),
+        S,
+        T,
+    )
+    one_way = compatibility(
+        policy(1, Rect(0, 1000, 0, 1000), TimeInterval(0, 1440)),
+        None,
+        S,
+        T,
+    )
+    assert mutual.degree > 0.5 >= one_way.degree
+
+
+def test_invalid_domains_rejected():
+    p = policy(1, Rect(0, 1, 0, 1), TimeInterval(0, 1))
+    with pytest.raises(ValueError):
+        compatibility(p, None, 0.0, T)
+    with pytest.raises(ValueError):
+        compatibility(p, None, S, -1.0)
+
+
+boxes = st.tuples(
+    st.floats(0, 900), st.floats(1, 100), st.floats(0, 900), st.floats(1, 100)
+)
+windows = st.tuples(st.floats(0, 1300), st.floats(1, 140))
+
+
+def _mk(owner, box, window):
+    x, w, y, h = box
+    s, d = window
+    return policy(owner, Rect(x, x + w, y, y + h), TimeInterval(s, s + d))
+
+
+@settings(max_examples=150, deadline=None)
+@given(b1=boxes, w1=windows, b2=boxes, w2=windows)
+def test_degree_always_in_unit_interval(b1, w1, b2, w2):
+    result = compatibility(_mk(1, b1, w1), _mk(2, b2, w2), S, T)
+    assert 0.0 <= result.degree <= 1.0
+    assert 0.0 <= result.alpha <= 1.0
+    if result.mutual:
+        assert result.degree > 0.5
+    else:
+        assert result.degree <= 0.5 + 1e-12
+
+
+@settings(max_examples=150, deadline=None)
+@given(b1=boxes, w1=windows, b2=boxes, w2=windows)
+def test_compatibility_is_symmetric(b1, w1, b2, w2):
+    p12 = _mk(1, b1, w1)
+    p21 = _mk(2, b2, w2)
+    forward = compatibility(p12, p21, S, T)
+    backward = compatibility(p21, p12, S, T)
+    assert forward.degree == pytest.approx(backward.degree)
+    assert forward.mutual == backward.mutual

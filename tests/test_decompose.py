@@ -1,0 +1,152 @@
+"""Tests for rectangle -> Z-interval decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.decompose import (
+    decompose_rect,
+    merge_intervals,
+    subtract_interval,
+)
+from repro.spatial.zcurve import z_encode
+
+
+def brute_cells(x0, x1, y0, y1):
+    return {z_encode(x, y) for x in range(x0, x1 + 1) for y in range(y0, y1 + 1)}
+
+
+def covered(intervals):
+    cells = set()
+    for lo, hi in intervals:
+        cells.update(range(lo, hi + 1))
+    return cells
+
+
+def test_full_grid_is_one_interval():
+    assert decompose_rect(0, 7, 0, 7, 3) == [(0, 63)]
+
+
+def test_single_cell():
+    assert decompose_rect(5, 5, 3, 3, 3) == [(z_encode(5, 3), z_encode(5, 3))]
+
+
+def test_paper_example_rows():
+    """The Section 5.3 worked example: R = ([2,2],[4,6]) in an 8x8 space.
+
+    The paper's own Z numbering ([13;16] and [25;28]) interleaves with the
+    opposite bit orientation; what is invariant across orientations — and
+    what this asserts — is that the decomposition covers exactly the
+    rectangle's cells.
+    """
+    intervals = decompose_rect(2, 2, 4, 6, 3)
+    assert covered(intervals) == brute_cells(2, 2, 4, 6)
+
+
+def test_exactness_small_cases():
+    for box in [(0, 3, 0, 0), (1, 6, 2, 5), (7, 7, 0, 7), (3, 4, 3, 4)]:
+        intervals = decompose_rect(*box, 3)
+        assert covered(intervals) == brute_cells(*box)
+
+
+def test_output_sorted_disjoint_non_adjacent():
+    intervals = decompose_rect(1, 6, 2, 5, 3)
+    for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+        assert hi1 + 1 < lo2
+
+
+def test_clipping_to_grid():
+    assert decompose_rect(-5, 100, -5, 100, 3) == [(0, 63)]
+    assert decompose_rect(9, 12, 0, 3, 3) == []
+
+
+def test_empty_box():
+    assert decompose_rect(5, 4, 0, 3, 3) == []
+
+
+def test_invalid_bits():
+    with pytest.raises(ValueError):
+        decompose_rect(0, 1, 0, 1, 0)
+    with pytest.raises(ValueError):
+        decompose_rect(0, 1, 0, 1, 33)
+
+
+def test_coarsening_covers_superset_with_fewer_intervals():
+    exact = decompose_rect(3, 60, 5, 58, 6)
+    coarse = decompose_rect(3, 60, 5, 58, 6, min_quad_side=8)
+    assert len(coarse) <= len(exact)
+    assert covered(exact) <= covered(coarse)
+
+
+def test_coarsening_validation():
+    with pytest.raises(ValueError):
+        decompose_rect(0, 1, 0, 1, 3, min_quad_side=0)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    bits=st.integers(min_value=2, max_value=6),
+    data=st.data(),
+)
+def test_exact_decomposition_property(bits, data):
+    side = 1 << bits
+    x0 = data.draw(st.integers(0, side - 1))
+    x1 = data.draw(st.integers(x0, side - 1))
+    y0 = data.draw(st.integers(0, side - 1))
+    y1 = data.draw(st.integers(y0, side - 1))
+    intervals = decompose_rect(x0, x1, y0, y1, bits)
+    assert covered(intervals) == brute_cells(x0, x1, y0, y1)
+    for (lo1, hi1), (lo2, hi2) in zip(intervals, intervals[1:]):
+        assert hi1 + 1 < lo2
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    bits=st.integers(min_value=3, max_value=6),
+    quad_exp=st.integers(min_value=0, max_value=3),
+    data=st.data(),
+)
+def test_coarse_decomposition_is_superset(bits, quad_exp, data):
+    side = 1 << bits
+    x0 = data.draw(st.integers(0, side - 1))
+    x1 = data.draw(st.integers(x0, side - 1))
+    y0 = data.draw(st.integers(0, side - 1))
+    y1 = data.draw(st.integers(y0, side - 1))
+    coarse = decompose_rect(x0, x1, y0, y1, bits, min_quad_side=1 << quad_exp)
+    assert brute_cells(x0, x1, y0, y1) <= covered(coarse)
+
+
+# ----------------------------------------------------------------------
+# Interval helpers
+# ----------------------------------------------------------------------
+
+def test_merge_intervals_fuses_adjacent():
+    assert merge_intervals([(0, 3), (4, 6), (9, 10)]) == [(0, 6), (9, 10)]
+
+
+def test_merge_intervals_fuses_overlap():
+    assert merge_intervals([(0, 5), (2, 8)]) == [(0, 8)]
+
+
+def test_merge_intervals_empty():
+    assert merge_intervals([]) == []
+
+
+def test_subtract_disjoint():
+    assert subtract_interval((0, 5), (10, 20)) == [(0, 5)]
+
+
+def test_subtract_covering():
+    assert subtract_interval((3, 7), (0, 100)) == []
+
+
+def test_subtract_middle():
+    assert subtract_interval((0, 10), (4, 6)) == [(0, 3), (7, 10)]
+
+
+def test_subtract_left_overlap():
+    assert subtract_interval((0, 10), (0, 4)) == [(5, 10)]
+
+
+def test_subtract_right_overlap():
+    assert subtract_interval((0, 10), (8, 12)) == [(0, 7)]

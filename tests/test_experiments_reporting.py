@@ -1,0 +1,152 @@
+"""Smoke tests for the per-figure experiment drivers and the reporting
+tables, on a micro preset that runs in seconds."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.experiments import HarnessCache, ScalePreset
+from repro.bench.harness import ExperimentConfig
+from repro.bench.reporting import SeriesTable
+
+MICRO = ScalePreset(
+    name="micro",
+    base=ExperimentConfig(
+        n_users=250,
+        n_policies=6,
+        n_queries=4,
+        window_side=250.0,
+        k=3,
+        page_size=512,
+        buffer_pages=8,
+        build_buffer_pages=512,
+        seed=21,
+    ),
+    user_sweep=(150, 250),
+    policy_sweep=(4, 8),
+    theta_sweep=(0.0, 1.0),
+    window_sweep=(100.0, 500.0),
+    k_sweep=(1, 4),
+    speed_sweep=(1.0, 6.0),
+    destination_sweep=(15,),
+    update_rounds=2,
+    encoding_user_sweep=(100, 200),
+    encoding_policy_sweep=(4, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return HarnessCache()
+
+
+def test_scale_preset_selection(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert experiments.scale_preset().name == "reduced"
+    monkeypatch.setenv("REPRO_SCALE", "paper")
+    assert experiments.scale_preset().name == "paper"
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        experiments.scale_preset()
+
+
+def test_fig11_encoding_rows():
+    rows = experiments.fig11a_encoding_vs_users(MICRO)
+    assert [row["n_users"] for row in rows] == [100, 200]
+    assert all(row["seconds"] >= 0 for row in rows)
+    rows = experiments.fig11b_encoding_vs_policies(MICRO)
+    assert [row["n_policies"] for row in rows] == [4, 8]
+
+
+def test_fig12_rows(cache):
+    rows = experiments.fig12_vs_users(MICRO, cache)
+    assert [row["n_users"] for row in rows] == [150, 250]
+    for row in rows:
+        assert row["prq_base"] > 0
+        assert row["knn_base"] > 0
+        assert row["peb_leaves"] > 0
+
+
+def test_fig13_rows(cache):
+    rows = experiments.fig13_vs_policies(MICRO, cache)
+    assert [row["n_policies"] for row in rows] == [4, 8]
+
+
+def test_fig14_rows(cache):
+    rows = experiments.fig14_vs_grouping(MICRO, cache)
+    assert [row["theta"] for row in rows] == [0.0, 1.0]
+
+
+def test_fig15_rows(cache):
+    window_rows = experiments.fig15a_vs_window(MICRO, cache)
+    assert [row["window"] for row in window_rows] == [100.0, 500.0]
+    k_rows = experiments.fig15b_vs_k(MICRO, cache)
+    assert [row["k"] for row in k_rows] == [1, 4]
+
+
+def test_fig16_rows(cache):
+    rows = experiments.fig16_vs_destinations(MICRO, cache)
+    assert [row["destinations"] for row in rows] == [15, 0]  # 0 = uniform
+
+
+def test_fig17_rows(cache):
+    rows = experiments.fig17_vs_speed(MICRO, cache)
+    assert [row["max_speed"] for row in rows] == [1.0, 6.0]
+
+
+def test_fig18_rows():
+    rows = experiments.fig18_vs_updates(MICRO)
+    assert [row["updated_pct"] for row in rows] == [0, 25, 50]
+
+
+def test_fig19_cost_model(cache):
+    result = experiments.fig19_cost_model(MICRO, cache)
+    assert len(result["vs_users"]) == 2
+    assert len(result["vs_policies"]) == 2
+    assert len(result["vs_theta"]) == 2
+    for row in result["vs_users"]:
+        assert row["estimated"] >= 0
+    # Calibration makes the model exact at the two calibration points.
+    assert result["vs_users"][0]["estimated"] == pytest.approx(
+        result["vs_users"][0]["measured"], abs=1e-6
+    )
+    assert result["vs_users"][-1]["estimated"] == pytest.approx(
+        result["vs_users"][-1]["measured"], abs=1e-6
+    )
+
+
+def test_harness_cache_reuses(cache):
+    first = cache.get(MICRO.base)
+    second = cache.get(MICRO.base)
+    assert first is second
+    cache.clear()
+    third = cache.get(MICRO.base)
+    assert third is not first
+
+
+def test_encode_only_runs():
+    seconds = experiments.encode_only(100, 4, 0.7, MICRO.base)
+    assert seconds >= 0
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def test_series_table_renders_aligned():
+    table = SeriesTable("Figure X", ["param", "peb", "base"])
+    table.add_row(100, 1.5, 20.0)
+    table.add_row(1000, 2.25, 200.125)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Figure X"
+    assert "param" in lines[1]
+    assert "1.50" in text
+    assert "200.12" in text
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all data lines aligned
+
+
+def test_series_table_arity_checked():
+    table = SeriesTable("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)

@@ -1,0 +1,192 @@
+"""Failure-injection tests: disk faults and page corruption.
+
+The index must (a) surface injected storage errors unchanged — no
+swallowed exceptions, no partial results — and (b) answer correctly
+again once the fault clears, proving no internal state was corrupted by
+the failed operation.
+"""
+
+import pytest
+
+from repro.btree.tree import BPlusTree, BTreeConfig
+from repro.storage.buffer import BufferPool
+from repro.storage.faults import (
+    ChecksummedDisk,
+    CorruptPageError,
+    DiskFaultError,
+    FaultyDisk,
+)
+from repro.storage.page import RawBytesSerializer
+
+
+# ----------------------------------------------------------------------
+# FaultyDisk semantics
+# ----------------------------------------------------------------------
+
+
+def test_faulty_disk_explicit_read_fault():
+    disk = FaultyDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"ok")
+    disk.fail_read_pages.add(page)
+    with pytest.raises(DiskFaultError):
+        disk.read(page)
+    assert disk.injected_faults == 1
+
+
+def test_faulty_disk_failed_read_charges_no_io():
+    disk = FaultyDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"ok")
+    writes_before = disk.stats.physical_writes
+    disk.fail_read_pages.add(page)
+    with pytest.raises(DiskFaultError):
+        disk.read(page)
+    assert disk.stats.physical_reads == 0
+    assert disk.stats.physical_writes == writes_before
+
+
+def test_faulty_disk_write_fault_preserves_old_image():
+    disk = FaultyDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"original")
+    disk.fail_write_pages.add(page)
+    with pytest.raises(DiskFaultError):
+        disk.write(page, b"replacement")
+    disk.heal()
+    assert disk.read(page) == b"original"
+
+
+def test_faulty_disk_every_nth_read():
+    disk = FaultyDisk(page_size=64, fail_every_nth_read=3)
+    page = disk.allocate()
+    disk.write(page, b"v")
+    assert disk.read(page) == b"v"  # attempt 1
+    assert disk.read(page) == b"v"  # attempt 2
+    with pytest.raises(DiskFaultError):
+        disk.read(page)  # attempt 3 fails
+    assert disk.read(page) == b"v"  # attempt 4
+
+
+def test_faulty_disk_rejects_bad_nth():
+    with pytest.raises(ValueError):
+        FaultyDisk(fail_every_nth_read=0)
+
+
+def test_heal_clears_all_faults():
+    disk = FaultyDisk(page_size=64, fail_every_nth_read=1)
+    page = disk.allocate()
+    with pytest.raises(DiskFaultError):
+        disk.read(page)
+    disk.heal()
+    disk.write(page, b"v")
+    assert disk.read(page) == b"v"
+
+
+# ----------------------------------------------------------------------
+# ChecksummedDisk semantics
+# ----------------------------------------------------------------------
+
+
+def test_checksummed_roundtrip_clean():
+    disk = ChecksummedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"payload")
+    assert disk.read(page) == b"payload"
+
+
+def test_checksummed_detects_bit_flip():
+    disk = ChecksummedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"payload")
+    disk.corrupt(page, bit=5)
+    with pytest.raises(CorruptPageError, match="checksum mismatch"):
+        disk.read(page)
+
+
+def test_checksummed_rewrite_updates_checksum():
+    disk = ChecksummedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"one")
+    disk.write(page, b"two")
+    assert disk.read(page) == b"two"
+
+
+def test_checksummed_corrupt_out_of_range():
+    disk = ChecksummedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"ab")
+    with pytest.raises(ValueError):
+        disk.corrupt(page, bit=10_000)
+
+
+def test_checksummed_free_forgets_checksum():
+    disk = ChecksummedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"x")
+    disk.free(page)
+    disk.write(page, b"y")
+    assert disk.read(page) == b"y"
+
+
+# ----------------------------------------------------------------------
+# Faults through the B+-tree
+# ----------------------------------------------------------------------
+
+
+def build_tree(disk, page_size=256):
+    pool = BufferPool(disk, capacity=4)
+    config = BTreeConfig(key_bytes=8, value_bytes=16, page_size=page_size)
+    return BPlusTree(pool, config)
+
+
+def test_btree_surfaces_read_fault_and_recovers():
+    disk = FaultyDisk(page_size=256)
+    tree = build_tree(disk)
+    for key in range(200):
+        tree.insert(key, key, key.to_bytes(16, "big"))
+    tree.pool.flush()
+    tree.pool.clear()
+
+    # Make every page unreadable, then heal: the tree must first raise,
+    # then return exactly the right answers — nothing cached half-read.
+    disk.fail_read_pages.update(range(disk.allocated_count))
+    with pytest.raises(DiskFaultError):
+        list(tree.scan_range(0, 199))
+    disk.heal()
+    found = [(key, value) for key, _, value in tree.scan_range(0, 199)]
+    assert [key for key, _ in found] == list(range(200))
+    assert all(value == key.to_bytes(16, "big") for key, value in found)
+
+
+def test_btree_surfaces_corruption():
+    disk = ChecksummedDisk(page_size=256)
+    tree = build_tree(disk)
+    for key in range(200):
+        tree.insert(key, key, key.to_bytes(16, "big"))
+    tree.pool.flush()
+    tree.pool.clear()
+
+    # Damage one written page; some lookup must trip over it.
+    victim = next(pid for pid in range(disk.allocated_count) if disk.contains(pid))
+    disk.corrupt(victim, bit=3)
+    with pytest.raises(CorruptPageError):
+        list(tree.scan_range(0, 199))
+
+
+def test_btree_intermittent_faults_never_corrupt_results():
+    """Reads that fail are retried by the caller; answers stay exact."""
+    disk = FaultyDisk(page_size=256, fail_every_nth_read=7)
+    tree = build_tree(disk)
+    for key in range(150):
+        tree.insert(key, key, key.to_bytes(16, "big"))
+    tree.pool.flush()
+
+    expected = list(range(150))
+    for _ in range(10):
+        tree.pool.clear()
+        try:
+            got = [key for key, _, _ in tree.scan_range(0, 149)]
+        except DiskFaultError:
+            continue  # retry, as a real execution layer would
+        assert got == expected

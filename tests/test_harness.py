@@ -1,0 +1,105 @@
+"""Tests for the experiment harness: I/O accounting, update rounds, and
+result equivalence at measurement time."""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+
+
+def small_config(**overrides):
+    fields = dict(
+        n_users=300,
+        n_policies=8,
+        n_queries=6,
+        window_side=250.0,
+        k=3,
+        page_size=1024,
+        buffer_pages=20,
+        build_buffer_pages=512,
+        seed=13,
+    )
+    fields.update(overrides)
+    return ExperimentConfig(**fields)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ExperimentHarness(small_config())
+
+
+def test_build_populates_both_indexes(harness):
+    assert len(harness.peb_tree) == 300
+    assert len(harness.bx_tree) == 300
+    assert harness.peb_leaf_count > 1
+
+
+def test_prq_batch_measures_and_verifies(harness):
+    costs = harness.run_prq_batch(check_results=True)
+    assert costs.n_queries == 6
+    assert costs.peb_io >= 0
+    assert costs.baseline_io > 0
+    assert len(costs.peb_result_sizes) == 6
+
+
+def test_pknn_batch_measures_and_verifies(harness):
+    costs = harness.run_pknn_batch(check_results=True)
+    assert costs.baseline_io > 0
+    assert costs.speedup > 0
+
+
+def test_window_override_changes_workload(harness):
+    wide = harness.run_prq_batch(window_side=900.0)
+    narrow = harness.run_prq_batch(window_side=50.0)
+    assert wide.baseline_io > narrow.baseline_io
+
+
+def test_k_override(harness):
+    costs = harness.run_pknn_batch(check_results=True, k=1)
+    assert costs.n_queries == 6
+
+
+def test_measurement_resets_counters(harness):
+    harness.run_prq_batch()
+    first = harness.peb_pool.stats.physical_reads
+    harness.run_prq_batch()
+    # The second batch starts from zero — counters do not accumulate.
+    assert harness.peb_pool.stats.physical_reads <= first * 2 + 10
+
+
+def test_network_distribution_builds():
+    config = small_config(distribution="network", n_destinations=20, n_users=150)
+    harness = ExperimentHarness(config)
+    costs = harness.run_prq_batch(check_results=True)
+    assert costs.n_queries == 6
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError):
+        ExperimentHarness(small_config(distribution="clustered"))
+
+
+def test_update_rounds_keep_results_correct():
+    harness = ExperimentHarness(small_config(n_users=200))
+    for _ in range(3):
+        harness.apply_update_round(0.25)
+        costs = harness.run_prq_batch(check_results=True)
+        assert costs.n_queries == 6
+    assert harness.now == pytest.approx(3 * 0.25 * 120.0)
+    knn_costs = harness.run_pknn_batch(check_results=True)
+    assert knn_costs.n_queries == 6
+
+
+def test_update_round_validates_fraction():
+    harness = ExperimentHarness(small_config(n_users=100))
+    with pytest.raises(ValueError):
+        harness.apply_update_round(0.0)
+    with pytest.raises(ValueError):
+        harness.apply_update_round(1.5)
+
+
+def test_config_scaled_helper():
+    config = small_config()
+    bigger = config.scaled(n_users=500)
+    assert bigger.n_users == 500
+    assert bigger.n_policies == config.n_policies
+    assert config.n_users == 300  # original untouched

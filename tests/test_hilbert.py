@@ -1,0 +1,52 @@
+"""Tests for the Hilbert curve (key-layout ablation substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.hilbert import hilbert_decode, hilbert_encode
+
+
+def test_bijective_on_16x16():
+    cells = [hilbert_decode(d, 4) for d in range(256)]
+    assert len(set(cells)) == 256
+    for d, cell in enumerate(cells):
+        assert hilbert_encode(*cell, 4) == d
+
+
+def test_consecutive_distances_are_adjacent():
+    """The Hilbert property: successive curve points are grid neighbours."""
+    previous = hilbert_decode(0, 5)
+    for d in range(1, 1024):
+        current = hilbert_decode(d, 5)
+        manhattan = abs(current[0] - previous[0]) + abs(current[1] - previous[1])
+        assert manhattan == 1, f"jump at d={d}"
+        previous = current
+
+
+def test_first_order_curve():
+    assert hilbert_decode(0, 1) == (0, 0)
+    assert hilbert_decode(3, 1) == (1, 0)
+
+
+def test_bounds_checked():
+    with pytest.raises(ValueError):
+        hilbert_encode(4, 0, 2)
+    with pytest.raises(ValueError):
+        hilbert_decode(16, 2)
+    with pytest.raises(ValueError):
+        hilbert_encode(0, 0, 0)
+    with pytest.raises(ValueError):
+        hilbert_decode(-1, 4)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+def test_round_trip_property(bits, data):
+    side = 1 << bits
+    x = data.draw(st.integers(min_value=0, max_value=side - 1))
+    y = data.draw(st.integers(min_value=0, max_value=side - 1))
+    assert hilbert_decode(hilbert_encode(x, y, bits), bits) == (x, y)

@@ -1,0 +1,102 @@
+"""Tests for the PEB-key codec (Equation 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peb_key import PEBKeyCodec
+
+
+def codec(**overrides):
+    fields = dict(tid_count=3, sv_bits=16, zv_bits=8, sv_scale=128)
+    fields.update(overrides)
+    return PEBKeyCodec(**fields)
+
+
+def test_bit_widths():
+    c = codec()
+    assert c.tid_bits == 2  # tids 0..2
+    assert c.total_bits == 2 + 16 + 8
+    assert c.key_bytes == 4
+    assert PEBKeyCodec(tid_count=1, sv_bits=4, zv_bits=4).tid_bits == 1
+
+
+def test_compose_decompose_round_trip():
+    c = codec()
+    key = c.compose(tid=2, sv=10.5, zv=200)
+    tid, sv_q, zv = c.decompose(key)
+    assert tid == 2
+    assert sv_q == round(10.5 * 128)
+    assert zv == 200
+
+
+def test_field_priority_tid_over_sv_over_zv():
+    """Section 5.2: TID dominates, then SV, then ZV."""
+    c = codec()
+    assert c.compose(1, 0.0, 0) > c.compose(0, 400.0, 255)
+    assert c.compose(0, 2.0, 0) > c.compose(0, 1.9, 255)
+    assert c.compose(0, 2.0, 10) > c.compose(0, 2.0, 9)
+
+
+def test_quantization_preserves_order():
+    c = codec()
+    values = [2.0, 2.2, 2.4, 2.6, 2.8, 4.0, 4.6]
+    quantized = [c.quantize_sv(v) for v in values]
+    assert quantized == sorted(quantized)
+    assert len(set(quantized)) == len(values)
+
+
+def test_search_range_brackets_one_sv():
+    c = codec()
+    lo, hi = c.search_range(tid=1, sv=3.5, z_lo=10, z_hi=20)
+    assert c.decompose(lo) == (1, c.quantize_sv(3.5), 10)
+    assert c.decompose(hi) == (1, c.quantize_sv(3.5), 20)
+    assert lo < hi
+
+
+def test_validation():
+    c = codec()
+    with pytest.raises(ValueError):
+        c.compose(3, 1.0, 0)  # tid out of range
+    with pytest.raises(ValueError):
+        c.compose(0, -1.0, 0)  # negative sv
+    with pytest.raises(ValueError):
+        c.compose(0, 1.0, 1 << 9)  # zv too wide
+    with pytest.raises(ValueError):
+        c.compose(0, 1 << 10, 0)  # sv overflows sv_bits at scale 128
+    with pytest.raises(ValueError):
+        PEBKeyCodec(tid_count=0, sv_bits=4, zv_bits=4)
+    with pytest.raises(ValueError):
+        PEBKeyCodec(tid_count=1, sv_bits=0, zv_bits=4)
+    with pytest.raises(ValueError):
+        PEBKeyCodec(tid_count=1, sv_bits=4, zv_bits=4, sv_scale=0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tid=st.integers(0, 2),
+    sv=st.floats(min_value=0, max_value=500),
+    zv=st.integers(0, 255),
+)
+def test_round_trip_property(tid, sv, zv):
+    c = codec()
+    tid2, sv_q, zv2 = c.decompose(c.compose(tid, sv, zv))
+    assert (tid2, zv2) == (tid, zv)
+    assert sv_q == c.quantize_sv(sv)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tid=st.integers(0, 2),
+    sv_a=st.floats(min_value=0, max_value=500),
+    sv_b=st.floats(min_value=0, max_value=500),
+    zv_a=st.integers(0, 255),
+    zv_b=st.integers(0, 255),
+)
+def test_key_order_respects_lexicographic_fields(tid, sv_a, sv_b, zv_a, zv_b):
+    c = codec()
+    key_a = c.compose(tid, sv_a, zv_a)
+    key_b = c.compose(tid, sv_b, zv_b)
+    field_a = (c.quantize_sv(sv_a), zv_a)
+    field_b = (c.quantize_sv(sv_b), zv_b)
+    assert (key_a < key_b) == (field_a < field_b)

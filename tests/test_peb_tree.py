@@ -1,0 +1,121 @@
+"""Tests for PEB-tree maintenance and key composition."""
+
+import pytest
+
+from repro.core.peb_tree import PEBTree
+from repro.core.sequencing import assign_sequence_values
+from repro.motion.objects import MovingObject
+from repro.motion.partitions import TimePartitioner
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.store import PolicyStore
+from repro.policy.timeset import TimeInterval
+from repro.spatial.geometry import Rect
+from repro.spatial.grid import Grid
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_store(uids):
+    store = PolicyStore()
+    everywhere = Rect(0, 1000, 0, 1000)
+    always = TimeInterval(0, 1440)
+    for index, uid in enumerate(uids):
+        target = uids[(index + 1) % len(uids)]
+        store.add_policy(
+            LocationPrivacyPolicy(owner=uid, role="f", locr=everywhere, tint=always),
+            members=[target],
+        )
+    report = assign_sequence_values(list(uids), store, 1000.0 * 1000.0)
+    store.set_sequence_values(report.sequence_values)
+    return store
+
+
+def make_peb(uids=range(10)):
+    uids = list(uids)
+    grid = Grid(1000.0, 10)
+    partitioner = TimePartitioner(120.0, 2)
+    store = make_store(uids)
+    pool = BufferPool(SimulatedDisk(page_size=1024), capacity=64)
+    return PEBTree(pool, grid, partitioner, store)
+
+
+def mover(uid, x=100.0, y=100.0, vx=1.0, vy=0.0, t=0.0):
+    return MovingObject(uid=uid, x=x, y=y, vx=vx, vy=vy, t_update=t)
+
+
+def test_key_embeds_all_three_components():
+    tree = make_peb()
+    obj = mover(0, x=100.0, y=200.0, vx=2.0, vy=0.0, t=0.0)
+    tid, sv_q, zv = tree.codec.decompose(tree.key_for(obj))
+    assert tid == tree.partitioner.partition(0.0)
+    assert sv_q == tree.codec.quantize_sv(tree.store.sequence_value(0))
+    assert zv == tree.grid.z_value(220.0, 200.0)  # position as of label 60
+
+
+def test_same_sv_users_cluster_in_key_space():
+    """Users with compatible policies (adjacent SVs) have closer keys
+    than spatially identical users with distant SVs."""
+    tree = make_peb(range(6))
+    svs = sorted(
+        (tree.store.sequence_value(uid), uid) for uid in range(6)
+    )
+    near_a, near_b = svs[0][1], svs[1][1]
+    far = svs[-1][1]
+    at_origin = dict(x=10.0, y=10.0, vx=0.0, vy=0.0, t=0.0)
+    key_a = tree.key_for(mover(near_a, **at_origin))
+    key_b = tree.key_for(mover(near_b, **at_origin))
+    key_far = tree.key_for(mover(far, **at_origin))
+    assert abs(key_a - key_b) < abs(key_a - key_far)
+
+
+def test_insert_delete_update_cycle():
+    tree = make_peb()
+    tree.insert(mover(0))
+    assert tree.contains(0)
+    tree.update(mover(0, x=900.0, t=30.0))
+    assert len(tree) == 1
+    assert tree.fetch_all()[0].x == 900.0
+    assert tree.delete(0) is True
+    assert tree.delete(0) is False
+    assert len(tree) == 0
+
+
+def test_double_insert_rejected():
+    tree = make_peb()
+    tree.insert(mover(1))
+    with pytest.raises(KeyError):
+        tree.insert(mover(1))
+
+
+def test_missing_sequence_value_fails_loudly():
+    tree = make_peb(range(5))
+    with pytest.raises(KeyError):
+        tree.insert(mover(99))  # uid 99 has no SV
+
+
+def test_scan_sv_zrange_returns_matching_entries():
+    tree = make_peb(range(8))
+    for uid in range(8):
+        tree.insert(mover(uid, x=uid * 100.0, y=uid * 100.0, vx=0.0, vy=0.0))
+    target = 3
+    sv = tree.store.sequence_value(target)
+    tid = tree.partitioner.partition(0.0)
+    found = list(tree.scan_sv_zrange(tid, sv, 0, tree.grid.max_z))
+    assert target in {obj.uid for obj in found}
+    # Every entry in this scan has the same quantized SV.
+    sv_q = tree.codec.quantize_sv(sv)
+    for obj in found:
+        entry_sv = tree.codec.quantize_sv(tree.store.sequence_value(obj.uid))
+        assert entry_sv == sv_q
+
+
+def test_structure_sound_under_update_churn():
+    tree = make_peb(range(50))
+    for uid in range(50):
+        tree.insert(mover(uid, x=uid * 17.0 % 1000, y=uid * 31.0 % 1000))
+    for round_index in range(1, 5):
+        t = round_index * 25.0
+        for uid in range(0, 50, 3):
+            tree.update(mover(uid, x=(uid * 7 + t) % 1000, y=(uid * 3 + t) % 1000, t=t))
+        tree.btree.check_invariants()
+    assert len(tree) == 50

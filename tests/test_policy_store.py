@@ -1,0 +1,111 @@
+"""Tests for the server-side policy directory."""
+
+import pytest
+
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.store import PolicyStore
+from repro.policy.timeset import TimeInterval
+from repro.spatial.geometry import Rect
+
+EVERYWHERE = Rect(0, 1000, 0, 1000)
+ALWAYS = TimeInterval(0, 1440)
+
+
+def policy(owner, role="friend", locr=EVERYWHERE, tint=ALWAYS):
+    return LocationPrivacyPolicy(owner=owner, role=role, locr=locr, tint=tint)
+
+
+def test_add_and_lookup():
+    store = PolicyStore()
+    store.add_policy(policy(1), members=[2, 3])
+    assert store.policy_for(1, 2) is not None
+    assert store.policy_for(1, 3) is not None
+    assert store.policy_for(1, 4) is None
+    assert store.policy_for(2, 1) is None  # direction matters
+    assert store.policy_count() == 2
+
+
+def test_role_membership_registered():
+    store = PolicyStore()
+    store.add_policy(policy(1, role="colleague"), members=[2])
+    assert store.roles.is_in_role(1, "colleague", 2)
+
+
+def test_duplicate_pair_rejected():
+    store = PolicyStore()
+    store.add_policy(policy(1), members=[2])
+    with pytest.raises(ValueError):
+        store.add_policy(policy(1, role="family"), members=[2])
+
+
+def test_self_policy_rejected():
+    store = PolicyStore()
+    with pytest.raises(ValueError):
+        store.add_policy(policy(1), members=[1])
+
+
+def test_evaluate_applies_definition_2():
+    store = PolicyStore()
+    store.add_policy(
+        policy(1, locr=Rect(0, 100, 0, 100), tint=TimeInterval(0, 720)),
+        members=[2],
+    )
+    assert store.evaluate(owner=1, viewer=2, x=50, y=50, t=100)
+    assert not store.evaluate(owner=1, viewer=2, x=500, y=50, t=100)  # region
+    assert not store.evaluate(owner=1, viewer=2, x=50, y=50, t=800)  # time
+    assert not store.evaluate(owner=1, viewer=3, x=50, y=50, t=100)  # role
+    assert not store.evaluate(owner=2, viewer=1, x=50, y=50, t=100)  # direction
+
+
+def test_evaluate_folds_time():
+    store = PolicyStore(time_domain=100.0)
+    store.add_policy(policy(1, tint=TimeInterval(0, 50)), members=[2])
+    assert store.evaluate(1, 2, 1, 1, t=520)  # 520 mod 100 = 20
+    assert not store.evaluate(1, 2, 1, 1, t=575)
+
+
+def test_semantic_location_translated_on_entry():
+    store = PolicyStore()
+    store.locations.register("campus", Rect(10, 20, 10, 20))
+    semantic = LocationPrivacyPolicy(
+        owner=1, role="friend", locr="campus", tint=ALWAYS
+    )
+    store.add_policy(semantic, members=[2])
+    stored = store.policy_for(1, 2)
+    assert stored.locr == Rect(10, 20, 10, 20)
+
+
+def test_friend_list_sorted_by_sv():
+    store = PolicyStore()
+    for owner in (10, 11, 12):
+        store.add_policy(policy(owner), members=[1])
+    store.set_sequence_values({10: 5.0, 11: 2.0, 12: 9.0})
+    assert store.friend_list(1) == [(2.0, 11), (5.0, 10), (9.0, 12)]
+    assert store.friend_list(99) == []
+
+
+def test_owners_and_viewers():
+    store = PolicyStore()
+    store.add_policy(policy(1), members=[2, 3])
+    store.add_policy(policy(2), members=[1])
+    assert store.owners_granting(1) == frozenset({2})
+    assert store.owners_granting(2) == frozenset({1})
+    assert store.viewers_of(1) == frozenset({2, 3})
+    assert store.all_users() == frozenset({1, 2, 3})
+
+
+def test_related_pairs_unordered_unique():
+    store = PolicyStore()
+    store.add_policy(policy(1), members=[2])
+    store.add_policy(policy(2), members=[1])  # mutual pair -> one entry
+    store.add_policy(policy(3), members=[1])
+    pairs = sorted(store.related_pairs())
+    assert pairs == [(1, 2), (1, 3)]
+
+
+def test_sequence_value_lookup():
+    store = PolicyStore()
+    store.set_sequence_values({7: 3.25})
+    assert store.sequence_value(7) == 3.25
+    with pytest.raises(KeyError):
+        store.sequence_value(8)

@@ -1,0 +1,100 @@
+"""Tests for the EXPERIMENTS.md generator's verdict and rendering logic.
+
+The expensive experiment drivers are covered by the benchmark suite;
+here the pure pieces — trend checks, win/loss verdicts, markdown
+rendering — are verified on synthetic series.
+"""
+
+from repro.bench.experiments import REDUCED
+from repro.bench.report import Section, _speedups, _trend, _wins_verdict, render_report
+
+
+def test_section_markdown_shape():
+    section = Section(
+        figure="Figure 12(a)",
+        title="PRQ I/O vs users",
+        paper_claim="PEB wins.",
+        columns=["users", "PEB"],
+        rows=[["1000", "3.00"], ["2000", "4.00"]],
+        verdicts=["Shape: **HOLDS**."],
+    )
+    text = section.to_markdown()
+    assert "### Figure 12(a) — PRQ I/O vs users" in text
+    assert "| users | PEB |" in text
+    assert "| 1000 | 3.00 |" in text
+    assert "- Shape: **HOLDS**." in text
+
+
+def test_speedups():
+    rows = [
+        {"peb": 2.0, "base": 10.0},
+        {"peb": 5.0, "base": 5.0},
+    ]
+    assert _speedups(rows, "peb", "base") == [5.0, 1.0]
+
+
+def test_speedups_handles_zero_peb():
+    rows = [{"peb": 0.0, "base": 3.0}]
+    assert _speedups(rows, "peb", "base") == [float("inf")]
+
+
+def test_wins_verdict_all_points():
+    rows = [{"peb": 1.0, "base": 4.0}, {"peb": 2.0, "base": 10.0}]
+    lines = _wins_verdict(rows, "peb", "base", "PRQ")
+    assert "wins 2/2" in lines[0]
+    assert "**HOLDS**" in lines[1]
+
+
+def test_wins_verdict_one_point_off():
+    rows = [
+        {"peb": 1.0, "base": 4.0},
+        {"peb": 2.0, "base": 10.0},
+        {"peb": 5.0, "base": 4.0},
+    ]
+    lines = _wins_verdict(rows, "peb", "base", "PRQ")
+    assert "wins 2/3" in lines[0]
+    assert "**MOSTLY HOLDS**" in lines[1]
+
+
+def test_wins_verdict_deviates():
+    rows = [
+        {"peb": 5.0, "base": 4.0},
+        {"peb": 5.0, "base": 4.0},
+        {"peb": 5.0, "base": 4.0},
+    ]
+    lines = _wins_verdict(rows, "peb", "base", "PRQ")
+    assert "**DEVIATES**" in lines[1]
+
+
+def test_trend_grows():
+    assert "**HOLDS**" in _trend([1.0, 2.0, 5.0], "cost", "grows")
+    assert "**DEVIATES**" in _trend([5.0, 2.0, 1.0], "cost", "grows")
+
+
+def test_trend_shrinks():
+    assert "**HOLDS**" in _trend([5.0, 2.0, 1.0], "cost", "shrinks")
+    assert "**DEVIATES**" in _trend([1.0, 2.0, 5.0], "cost", "shrinks")
+
+
+def test_trend_flat_tolerates_band():
+    assert "**HOLDS**" in _trend([10.0, 12.0, 11.0], "cost", "flat", 5.0)
+    assert "**DEVIATES**" in _trend([10.0, 80.0], "cost", "flat", 5.0)
+
+
+def test_render_report_counts_verdicts():
+    sections = [
+        Section(
+            figure="Figure X",
+            title="t",
+            paper_claim="c",
+            columns=["a"],
+            rows=[["1"]],
+            verdicts=["Shape: **HOLDS**.", "Trend: **DEVIATES**."],
+        )
+    ]
+    text = render_report(REDUCED, sections, elapsed=12.0)
+    assert "# EXPERIMENTS — paper vs measured" in text
+    assert "1 HOLDS" in text
+    assert "1 DEVIATES" in text
+    assert "## Table 1 — parameters" in text
+    assert "Figure X" in text

@@ -1,0 +1,89 @@
+"""End-to-end test of the EXPERIMENTS.md generator on a micro preset.
+
+The full generator runs every figure driver; at 250 users this stays
+within seconds while exercising the same code path as
+``python -m repro report``.
+"""
+
+import pytest
+
+from repro.bench.experiments import HarnessCache, ScalePreset
+from repro.bench.harness import ExperimentConfig
+from repro.bench.report import build_all_sections, generate, render_report
+
+MICRO = ScalePreset(
+    name="micro",
+    base=ExperimentConfig(
+        n_users=250,
+        n_policies=6,
+        n_queries=4,
+        window_side=250.0,
+        k=3,
+        page_size=512,
+        buffer_pages=8,
+        build_buffer_pages=512,
+        seed=21,
+    ),
+    user_sweep=(150, 250),
+    policy_sweep=(4, 8),
+    theta_sweep=(0.0, 1.0),
+    window_sweep=(100.0, 500.0),
+    k_sweep=(1, 4),
+    speed_sweep=(1.0, 6.0),
+    destination_sweep=(15,),
+    update_rounds=2,
+    encoding_user_sweep=(100, 200),
+    encoding_policy_sweep=(4, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return build_all_sections(MICRO, HarnessCache())
+
+
+def test_every_figure_has_a_section(sections):
+    figures = [section.figure for section in sections]
+    for expected in (
+        "Figure 11(a)",
+        "Figure 11(b)",
+        "Figure 12(a)",
+        "Figure 12(b)",
+        "Figure 13(a)",
+        "Figure 13(b)",
+        "Figure 14(a)",
+        "Figure 14(b)",
+        "Figure 15(a)",
+        "Figure 15(b)",
+        "Figure 16(a)",
+        "Figure 16(b)",
+        "Figure 17(a)",
+        "Figure 17(b)",
+        "Figure 18(a)",
+        "Figure 18(b)",
+    ):
+        assert expected in figures
+    assert sum("Figure 19" in figure for figure in figures) == 3
+
+
+def test_every_section_has_rows_and_verdicts(sections):
+    for section in sections:
+        assert section.rows, section.figure
+        assert section.verdicts, section.figure
+        assert section.paper_claim
+
+
+def test_render_includes_all_sections(sections):
+    text = render_report(MICRO, sections, elapsed=1.0)
+    for section in sections:
+        assert section.figure in text
+    assert "## Summary" in text
+
+
+def test_generate_writes_file(tmp_path, sections):
+    # Reuse nothing: generate() runs its own drivers, so keep it micro.
+    path = tmp_path / "EXPERIMENTS.md"
+    markdown = generate(str(path), MICRO)
+    assert path.read_text() == markdown
+    assert "# EXPERIMENTS — paper vs measured" in markdown
+    assert "micro" in markdown

@@ -1,0 +1,124 @@
+"""Tests for sequence-value assignment — including the paper's worked
+example from Section 5.1 reproduced digit for digit."""
+
+import pytest
+
+from repro.core.sequencing import assign_sequence_values
+from repro.policy.lpp import LocationPrivacyPolicy
+from repro.policy.store import PolicyStore
+from repro.policy.timeset import TimeInterval
+from repro.spatial.geometry import Rect
+
+SPACE_AREA = 1000.0 * 1000.0
+
+
+def _store_with_degrees(degrees: dict[tuple[int, int], float]) -> PolicyStore:
+    """Build a store whose pairwise compatibility degrees equal ``degrees``.
+
+    Mutual policies over the full space with time windows sized so that
+    C = (1 + D/T)/2 equals the requested degree: D = (2*degree - 1) * T.
+    All requested degrees must exceed 0.5 for this construction; for
+    degrees <= 0.5 a single one-way policy with |locr||tint| chosen to
+    match is used (C = alpha).
+    """
+    store = PolicyStore(time_domain=1440.0)
+    everywhere = Rect(0, 1000, 0, 1000)
+    for (u, v), degree in degrees.items():
+        if degree > 0.5:
+            duration = (2.0 * degree - 1.0) * store.time_domain
+            tint = TimeInterval(0.0, duration)
+            store.add_policy(
+                LocationPrivacyPolicy(owner=u, role="f", locr=everywhere, tint=tint),
+                members=[v],
+            )
+            store.add_policy(
+                LocationPrivacyPolicy(owner=v, role="f", locr=everywhere, tint=tint),
+                members=[u],
+            )
+        else:
+            # One-way: C = 0.5 * (|locr|/S) * (|tint|/T); use the full
+            # space and solve for the duration.
+            duration = 2.0 * degree * store.time_domain
+            store.add_policy(
+                LocationPrivacyPolicy(
+                    owner=u,
+                    role="f",
+                    locr=everywhere,
+                    tint=TimeInterval(0.0, duration),
+                ),
+                members=[v],
+            )
+    return store
+
+
+def test_paper_worked_example():
+    """Six users with C(u2,u1)=0.4, C(u4,u1)=0.9, C(u4,u3)=0.8,
+    C(u5,u3)=0.2, C(u6,u3)=0.6 must yield the paper's assignment:
+    SV(u3)=2, SV(u4)=2.2, SV(u5)=2.8, SV(u6)=2.4, SV(u1)=4, SV(u2)=4.6."""
+    degrees = {
+        (2, 1): 0.4,
+        (4, 1): 0.9,
+        (4, 3): 0.8,
+        (5, 3): 0.2,
+        (6, 3): 0.6,
+    }
+    store = _store_with_degrees(degrees)
+    users = [1, 2, 3, 4, 5, 6]
+    report = assign_sequence_values(users, store, SPACE_AREA, initial_sv=2.0, delta=2.0)
+    sv = report.sequence_values
+    assert sv[3] == pytest.approx(2.0)
+    assert sv[4] == pytest.approx(2.2)
+    assert sv[5] == pytest.approx(2.8)
+    assert sv[6] == pytest.approx(2.4)
+    assert sv[1] == pytest.approx(4.0)
+    assert sv[2] == pytest.approx(4.6)
+    assert report.group_count == 2
+    assert report.related_pair_count == 5
+
+
+def test_every_user_gets_a_value():
+    degrees = {(1, 2): 0.7, (3, 4): 0.3}
+    store = _store_with_degrees(degrees)
+    users = [1, 2, 3, 4, 5, 6, 7]  # 5..7 are isolated
+    report = assign_sequence_values(users, store, SPACE_AREA)
+    assert set(report.sequence_values) == set(users)
+
+
+def test_isolated_users_get_distinct_group_values():
+    store = PolicyStore()
+    users = [1, 2, 3]
+    report = assign_sequence_values(users, store, SPACE_AREA, initial_sv=2.0, delta=2.0)
+    assert sorted(report.sequence_values.values()) == [2.0, 4.0, 6.0]
+    assert report.group_count == 3
+
+
+def test_high_compatibility_means_close_values():
+    close = _store_with_degrees({(1, 2): 0.95})
+    far = _store_with_degrees({(1, 2): 0.55})
+    sv_close = assign_sequence_values([1, 2], close, SPACE_AREA).sequence_values
+    sv_far = assign_sequence_values([1, 2], far, SPACE_AREA).sequence_values
+    assert abs(sv_close[1] - sv_close[2]) < abs(sv_far[1] - sv_far[2])
+
+
+def test_members_cluster_within_delta_of_leader():
+    degrees = {(1, j): 0.6 for j in range(2, 12)}
+    store = _store_with_degrees(degrees)
+    report = assign_sequence_values(list(range(1, 12)), store, SPACE_AREA, delta=2.0)
+    sv = report.sequence_values
+    leader = sv[1]
+    for member in range(2, 12):
+        assert leader < sv[member] < leader + 1.0  # 1 - C in (0, 1)
+
+
+def test_parameters_validated():
+    store = PolicyStore()
+    with pytest.raises(ValueError):
+        assign_sequence_values([1], store, SPACE_AREA, initial_sv=1.0)
+    with pytest.raises(ValueError):
+        assign_sequence_values([1], store, SPACE_AREA, delta=0.5)
+
+
+def test_report_carries_timing():
+    store = _store_with_degrees({(1, 2): 0.8})
+    report = assign_sequence_values([1, 2], store, SPACE_AREA)
+    assert report.elapsed_seconds >= 0.0

@@ -1,0 +1,149 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import RawBytesSerializer
+
+
+def make_pool(capacity=3, page_size=64):
+    disk = SimulatedDisk(page_size=page_size)
+    return disk, BufferPool(disk, capacity=capacity, serializer=RawBytesSerializer())
+
+
+def test_put_then_get_hits_without_disk_read():
+    disk, pool = make_pool()
+    page = disk.allocate()
+    pool.put(page, b"payload")
+    assert pool.get(page) == b"payload"
+    assert disk.stats.physical_reads == 0
+
+
+def test_miss_reads_from_disk():
+    disk, pool = make_pool()
+    page = disk.allocate()
+    disk.write(page, b"cold")
+    disk.stats.reset()
+    assert pool.get(page) == b"cold"
+    assert disk.stats.physical_reads == 1
+    # Second access is a hit.
+    assert pool.get(page) == b"cold"
+    assert disk.stats.physical_reads == 1
+
+
+def test_lru_eviction_order():
+    disk, pool = make_pool(capacity=2)
+    pages = [disk.allocate() for _ in range(3)]
+    pool.put(pages[0], b"0")
+    pool.put(pages[1], b"1")
+    pool.get(pages[0])  # page 0 becomes most recent
+    pool.put(pages[2], b"2")  # evicts page 1 (the LRU)
+    assert pages[1] not in pool
+    assert pages[0] in pool and pages[2] in pool
+
+
+def test_dirty_eviction_writes_back():
+    disk, pool = make_pool(capacity=1)
+    first = disk.allocate()
+    second = disk.allocate()
+    pool.put(first, b"dirty")
+    pool.put(second, b"next")  # evicts first
+    assert disk.read(first) == b"dirty"
+
+
+def test_clean_eviction_skips_write():
+    disk, pool = make_pool(capacity=1)
+    first = disk.allocate()
+    disk.write(first, b"ondisk")
+    disk.stats.reset()
+    pool.get(first)  # resident, clean
+    second = disk.allocate()
+    pool.put(second, b"x")  # evicts clean page: no write-back
+    assert disk.stats.physical_writes == 0
+
+
+def test_mutated_object_must_be_re_put_or_marked():
+    """The discipline the B+-tree follows: put after every mutation."""
+    disk, pool = make_pool(capacity=1)
+    page = disk.allocate()
+    pool.put(page, bytearray(b"aaaa"))
+    obj = pool.get(page)
+    obj[0:1] = b"z"
+    pool.put(page, obj)  # re-put marks dirty
+    other = disk.allocate()
+    pool.put(other, b"evictor")
+    assert disk.read(page) == b"zaaa"
+
+
+def test_flush_writes_all_dirty_pages():
+    disk, pool = make_pool(capacity=4)
+    pages = [disk.allocate() for _ in range(3)]
+    for index, page in enumerate(pages):
+        pool.put(page, bytes([index]))
+    pool.flush()
+    for index, page in enumerate(pages):
+        assert disk.read(page) == bytes([index])
+    assert not pool.dirty_pages
+
+
+def test_clear_flushes_then_empties():
+    disk, pool = make_pool(capacity=4)
+    page = disk.allocate()
+    pool.put(page, b"v")
+    pool.clear()
+    assert len(pool) == 0
+    assert disk.read(page) == b"v"
+
+
+def test_resize_shrink_evicts_lru():
+    disk, pool = make_pool(capacity=4)
+    pages = [disk.allocate() for _ in range(4)]
+    for page in pages:
+        pool.put(page, b"x")
+    pool.resize(2)
+    assert len(pool) == 2
+    assert pool.resident_pages == pages[2:]
+
+
+def test_logical_counters():
+    disk, pool = make_pool()
+    page = disk.allocate()
+    pool.put(page, b"a")  # one logical write (dirty mark)
+    pool.get(page)
+    pool.get(page)
+    assert disk.stats.logical_reads == 2
+    assert disk.stats.logical_writes == 1
+
+
+def test_mark_dirty_requires_residency():
+    _, pool = make_pool()
+    with pytest.raises(KeyError):
+        pool.mark_dirty(42)
+
+
+def test_get_without_serializer_fails():
+    disk = SimulatedDisk(page_size=64)
+    pool = BufferPool(disk, capacity=2)  # no serializer
+    page = disk.allocate()
+    disk.write(page, b"x")
+    with pytest.raises(RuntimeError):
+        pool.get(page)
+
+
+def test_discard_forgets_without_writeback():
+    disk, pool = make_pool()
+    page = disk.allocate()
+    disk.write(page, b"old")
+    pool.put(page, b"new")
+    pool.discard(page)
+    assert disk.read(page) == b"old"
+
+
+def test_invalid_capacity_rejected():
+    disk = SimulatedDisk()
+    with pytest.raises(ValueError):
+        BufferPool(disk, capacity=0)
+    _, pool = make_pool()
+    with pytest.raises(ValueError):
+        pool.resize(-1)

@@ -1,0 +1,80 @@
+"""Unit tests for the simulated page disk."""
+
+import pytest
+
+from repro.storage.disk import PAGE_SIZE, PageOverflowError, SimulatedDisk
+
+
+def test_default_page_size_matches_paper():
+    assert PAGE_SIZE == 4096
+    assert SimulatedDisk().page_size == 4096
+
+
+def test_allocate_is_sequential_and_free_of_charge():
+    disk = SimulatedDisk()
+    assert disk.allocate() == 0
+    assert disk.allocate() == 1
+    assert disk.allocate() == 2
+    assert disk.stats.total_io == 0
+    assert disk.allocated_count == 3
+    assert disk.page_count == 0  # nothing written yet
+
+
+def test_write_then_read_round_trips():
+    disk = SimulatedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"hello")
+    assert disk.read(page) == b"hello"
+
+
+def test_reads_and_writes_are_counted():
+    disk = SimulatedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"a")
+    disk.write(page, b"b")
+    disk.read(page)
+    disk.read(page)
+    disk.read(page)
+    assert disk.stats.physical_writes == 2
+    assert disk.stats.physical_reads == 3
+
+
+def test_oversized_page_rejected():
+    disk = SimulatedDisk(page_size=8)
+    page = disk.allocate()
+    with pytest.raises(PageOverflowError):
+        disk.write(page, b"123456789")
+
+
+def test_write_to_unallocated_page_rejected():
+    disk = SimulatedDisk()
+    with pytest.raises(KeyError):
+        disk.write(5, b"x")
+
+
+def test_read_of_unwritten_page_rejected():
+    disk = SimulatedDisk()
+    page = disk.allocate()
+    with pytest.raises(KeyError):
+        disk.read(page)
+
+
+def test_free_drops_the_image():
+    disk = SimulatedDisk(page_size=64)
+    page = disk.allocate()
+    disk.write(page, b"x")
+    assert disk.contains(page)
+    disk.free(page)
+    assert not disk.contains(page)
+    with pytest.raises(KeyError):
+        disk.read(page)
+
+
+def test_free_of_unwritten_page_is_noop():
+    disk = SimulatedDisk()
+    disk.free(123)  # must not raise
+
+
+def test_invalid_page_size_rejected():
+    with pytest.raises(ValueError):
+        SimulatedDisk(page_size=0)

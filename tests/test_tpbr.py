@@ -1,0 +1,166 @@
+"""Tests for time-parameterized bounding rectangles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.motion.objects import MovingObject
+from repro.spatial.geometry import Rect
+from repro.tprtree.tpbr import TPBR, union_all
+
+
+def mover(uid=1, x=0.0, y=0.0, vx=0.0, vy=0.0, t=0.0):
+    return MovingObject(uid=uid, x=x, y=y, vx=vx, vy=vy, t_update=t)
+
+
+def test_from_object_is_degenerate_point():
+    tpbr = TPBR.from_object(mover(x=3.0, y=4.0, vx=1.0, vy=-1.0, t=2.0))
+    assert tpbr.x_lo == tpbr.x_hi == 3.0
+    assert tpbr.vy_lo == tpbr.vy_hi == -1.0
+    assert tpbr.t_ref == 2.0
+    assert tpbr.area_at(100.0) == 0.0
+
+
+def test_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        TPBR(1, 0, 0, 1, 0, 0, 0, 0, 0.0)
+    with pytest.raises(ValueError):
+        TPBR(0, 1, 0, 1, 1, 0, 0, 0, 0.0)
+
+
+def test_bounds_grow_with_velocity_spread():
+    tpbr = TPBR(0, 10, 0, 10, -1, 1, -2, 2, t_ref=0.0)
+    box = tpbr.bounds_at(5.0)
+    assert box == Rect(-5, 15, -10, 20)
+
+
+def test_bounds_widen_backward_in_time():
+    """Before t_ref the walls swap velocity roles and keep widening."""
+    tpbr = TPBR(0, 10, 0, 10, -1, 1, -2, 2, t_ref=50.0)
+    box = tpbr.bounds_at(40.0)  # dt = -10
+    assert box == Rect(-10, 20, -20, 30)
+
+
+def test_backward_bounds_contain_member_trajectories():
+    """A member's backward-extrapolated position stays inside."""
+    a = mover(uid=1, x=0, y=0, vx=2, vy=1, t=10.0)
+    b = mover(uid=2, x=50, y=50, vx=-1, vy=0, t=30.0)
+    merged = TPBR.from_object(a).union(TPBR.from_object(b))
+    assert merged.t_ref == 30.0
+    for t in (0.0, 5.0, 15.0, 25.0):
+        box = merged.bounds_at(t)
+        for obj in (a, b):
+            x, y = obj.position_at(t)
+            assert box.x_lo - 1e-9 <= x <= box.x_hi + 1e-9, (t, obj.uid)
+            assert box.y_lo - 1e-9 <= y <= box.y_hi + 1e-9, (t, obj.uid)
+
+
+def test_as_of_preserves_bounds_at_later_times():
+    tpbr = TPBR(0, 10, 0, 10, -1, 1, 0, 2, t_ref=0.0)
+    advanced = tpbr.as_of(5.0)
+    assert advanced.t_ref == 5.0
+    for t in (5.0, 8.0, 20.0):
+        assert advanced.bounds_at(t) == tpbr.bounds_at(t)
+
+
+def test_union_covers_both_forever():
+    a = TPBR.from_object(mover(uid=1, x=0, y=0, vx=2, vy=0))
+    b = TPBR.from_object(mover(uid=2, x=10, y=10, vx=-1, vy=1, t=3.0))
+    merged = a.union(b)
+    for t in (3.0, 10.0, 50.0):
+        box = merged.bounds_at(t)
+        for tpbr in (a, b):
+            inner = tpbr.bounds_at(t)
+            assert box.contains_rect(inner), (t, inner, box)
+
+
+def test_union_all_requires_input():
+    with pytest.raises(ValueError):
+        union_all([])
+
+
+def test_area_integral_static_box():
+    tpbr = TPBR(0, 2, 0, 3, 0, 0, 0, 0, t_ref=0.0)
+    assert tpbr.area_integral(0.0, 10.0) == pytest.approx(60.0)
+
+
+def test_area_integral_growing_box():
+    # Width 0 + 2t, height 0 + 2t -> area 4t^2, integral 4/3 t^3.
+    tpbr = TPBR(0, 0, 0, 0, -1, 1, -1, 1, t_ref=0.0)
+    assert tpbr.area_integral(0.0, 3.0) == pytest.approx(4 * 27 / 3)
+
+
+def test_area_integral_starts_at_t_ref():
+    tpbr = TPBR(0, 1, 0, 1, 0, 0, 0, 0, t_ref=5.0)
+    assert tpbr.area_integral(0.0, 5.0) == 0.0
+    assert tpbr.area_integral(0.0, 7.0) == pytest.approx(2.0)
+
+
+def test_area_integral_rejects_reversed():
+    tpbr = TPBR(0, 1, 0, 1, 0, 0, 0, 0, t_ref=0.0)
+    with pytest.raises(ValueError):
+        tpbr.area_integral(5.0, 1.0)
+
+
+@settings(max_examples=80)
+@given(
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=0.1, max_value=50),
+)
+def test_area_integral_matches_riemann_sum(start, span):
+    tpbr = TPBR(0, 5, 0, 3, -1, 2, -0.5, 1, t_ref=0.0)
+    end = start + span
+    steps = 2000
+    dt = span / steps
+    riemann = sum(
+        tpbr.area_at(start + (i + 0.5) * dt) * dt for i in range(steps)
+    )
+    assert tpbr.area_integral(start, end) == pytest.approx(riemann, rel=1e-3)
+
+
+def test_contains_object_positive_and_negative():
+    a = mover(uid=1, x=0, y=0, vx=1, vy=1)
+    b = mover(uid=2, x=5, y=5, vx=-1, vy=0, t=2.0)
+    merged = TPBR.from_object(a).union(TPBR.from_object(b))
+    assert merged.contains_object(a)
+    assert merged.contains_object(b)
+    # Too fast for the velocity bounds.
+    assert not merged.contains_object(mover(uid=3, x=1, y=1, vx=9, vy=0))
+    # Outside the position bounds at its update time.
+    assert not merged.contains_object(mover(uid=4, x=500, y=500))
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=0, max_value=100),
+            st.floats(min_value=-3, max_value=3),
+            st.floats(min_value=-3, max_value=3),
+            st.floats(min_value=0, max_value=10),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_union_always_contains_members(raw):
+    objects = [
+        mover(uid=i, x=x, y=y, vx=vx, vy=vy, t=t)
+        for i, (x, y, vx, vy, t) in enumerate(raw)
+    ]
+    merged = union_all([TPBR.from_object(obj) for obj in objects])
+    for obj in objects:
+        assert merged.contains_object(obj)
+        # And pointwise at sampled times after both references.
+        for t in (12.0, 40.0):
+            x, y = obj.position_at(t)
+            box = merged.bounds_at(t)
+            assert box.x_lo - 1e-6 <= x <= box.x_hi + 1e-6
+            assert box.y_lo - 1e-6 <= y <= box.y_hi + 1e-6
+
+
+def test_min_distance_at():
+    tpbr = TPBR(0, 10, 0, 10, 0, 0, 0, 0, t_ref=0.0)
+    assert tpbr.min_distance_at(5, 5, 0.0) == 0.0
+    assert tpbr.min_distance_at(13, 14, 0.0) == pytest.approx(5.0)

@@ -1,0 +1,356 @@
+"""Tests for the TPR-tree: structure, queries, updates, and the
+policy-filter baseline built on it."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.oracle import brute_force_pknn, brute_force_prq
+from repro.core.sequencing import assign_sequence_values
+from repro.motion.objects import MovingObject
+from repro.spatial.geometry import Rect, euclidean
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.tprtree.filter_baseline import TPRFilterBaseline
+from repro.tprtree.node import TPRNodeSerializer
+from repro.tprtree.tree import TPRTree, TPRTreeConfig
+from repro.workloads.policies import PolicyGenerator
+from repro.workloads.uniform import UniformMovement
+
+
+def make_tree(page_size=512, capacity=256):
+    disk = SimulatedDisk(page_size=page_size)
+    pool = BufferPool(disk, capacity=capacity, serializer=TPRNodeSerializer())
+    return TPRTree(pool)
+
+
+def mover(uid, x, y, vx=0.0, vy=0.0, t=0.0):
+    return MovingObject(uid=uid, x=x, y=y, vx=vx, vy=vy, t_update=t)
+
+
+def uniform_objects(n, seed=4, speed=3.0):
+    movement = UniformMovement(1000.0, speed, random.Random(seed))
+    return movement.initial_objects(n, t=0.0)
+
+
+# ----------------------------------------------------------------------
+# Config
+# ----------------------------------------------------------------------
+
+
+def test_capacities_from_page_geometry():
+    config = TPRTreeConfig(page_size=512)
+    assert config.leaf_capacity == (512 - 3) // 48
+    assert config.internal_capacity == (512 - 3) // 80
+    assert config.min_fill(config.leaf_capacity) >= 1
+
+
+def test_config_rejects_tiny_page():
+    with pytest.raises(ValueError):
+        TPRTreeConfig(page_size=50).leaf_capacity
+
+
+def test_tree_rejects_config_larger_than_disk_page():
+    disk = SimulatedDisk(page_size=256)
+    pool = BufferPool(disk, capacity=16, serializer=TPRNodeSerializer())
+    with pytest.raises(ValueError):
+        TPRTree(pool, TPRTreeConfig(page_size=4096))
+
+
+# ----------------------------------------------------------------------
+# Basic maintenance
+# ----------------------------------------------------------------------
+
+
+def test_insert_and_len():
+    tree = make_tree()
+    for obj in uniform_objects(50):
+        tree.insert(obj)
+    assert len(tree) == 50
+    assert tree.contains(0)
+    assert not tree.contains(10_000)
+
+
+def test_duplicate_insert_rejected():
+    tree = make_tree()
+    tree.insert(mover(1, 5, 5))
+    with pytest.raises(KeyError):
+        tree.insert(mover(1, 6, 6))
+
+
+def test_delete_roundtrip():
+    tree = make_tree()
+    objects = uniform_objects(120)
+    for obj in objects:
+        tree.insert(obj)
+    for obj in objects[:60]:
+        assert tree.delete(obj.uid)
+    assert len(tree) == 60
+    assert not tree.delete(objects[0].uid)  # already gone
+    remaining = {obj.uid for obj in tree.fetch_all()}
+    assert remaining == {obj.uid for obj in objects[60:]}
+
+
+def test_delete_everything_leaves_empty_tree():
+    tree = make_tree()
+    objects = uniform_objects(80)
+    for obj in objects:
+        tree.insert(obj)
+    for obj in objects:
+        assert tree.delete(obj.uid)
+    assert len(tree) == 0
+    assert tree.fetch_all() == []
+    assert tree.range_query(Rect(0, 1000, 0, 1000), 0.0) == []
+
+
+def test_update_moves_entry():
+    tree = make_tree()
+    tree.insert(mover(7, 100, 100, vx=1.0))
+    tree.update(mover(7, 900, 900, vx=-1.0, t=10.0))
+    found = tree.range_query(Rect(890, 910, 890, 910), 10.0)
+    assert [obj.uid for obj in found] == [7]
+    assert tree.range_query(Rect(90, 120, 90, 120), 10.0) == []
+
+
+def test_validate_after_bulk_inserts():
+    tree = make_tree()
+    for obj in uniform_objects(400):
+        tree.insert(obj)
+    assert tree.height >= 2  # the split machinery actually ran
+    tree.validate()
+
+
+def test_validate_after_mixed_workload():
+    tree = make_tree()
+    rng = random.Random(9)
+    objects = uniform_objects(300)
+    for obj in objects:
+        tree.insert(obj)
+    # Delete a third, update a third.
+    for obj in rng.sample(objects, 100):
+        tree.delete(obj.uid)
+    survivors = [obj for obj in objects if tree.contains(obj.uid)]
+    for obj in rng.sample(survivors, 100):
+        x, y = obj.position_at(20.0)
+        tree.update(obj.moved_to(x % 1000, y % 1000, -obj.vx, obj.vy, 20.0))
+    tree.validate()
+
+
+def test_serializer_roundtrip_through_cold_cache():
+    tree = make_tree(capacity=4)  # tiny buffer: nodes go to disk and back
+    objects = uniform_objects(200)
+    for obj in objects:
+        tree.insert(obj)
+    tree.pool.flush()
+    tree.pool.clear()
+    assert {obj.uid for obj in tree.fetch_all()} == {obj.uid for obj in objects}
+    tree.validate()
+
+
+# ----------------------------------------------------------------------
+# Queries vs brute force
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def populated():
+    tree = make_tree()
+    objects = uniform_objects(350, seed=12)
+    for obj in objects:
+        tree.insert(obj)
+    return tree, {obj.uid: obj for obj in objects}
+
+
+@pytest.mark.parametrize("t_query", [0.0, 5.0, 30.0])
+def test_range_query_matches_brute_force(populated, t_query):
+    tree, states = populated
+    rng = random.Random(31)
+    for _ in range(10):
+        cx, cy = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        window = Rect.from_center(cx, cy, rng.uniform(30, 200))
+        expected = {
+            uid
+            for uid, obj in states.items()
+            if window.contains(*obj.position_at(t_query))
+        }
+        got = {obj.uid for obj in tree.range_query(window, t_query)}
+        assert got == expected
+
+
+@pytest.mark.parametrize("t_query", [0.0, 15.0])
+def test_knn_matches_brute_force(populated, t_query):
+    tree, states = populated
+    rng = random.Random(32)
+    for _ in range(8):
+        qx, qy = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        ranked = sorted(
+            (euclidean(qx, qy, *obj.position_at(t_query)), uid)
+            for uid, obj in states.items()
+        )
+        got = tree.knn(qx, qy, 5, t_query)
+        assert [round(d, 9) for d, _ in got] == [
+            round(d, 9) for d, _ in ranked[:5]
+        ]
+
+
+def test_knn_rejects_bad_k(populated):
+    tree, _ = populated
+    with pytest.raises(ValueError):
+        tree.knn(0, 0, 0, 0.0)
+
+
+def test_nearest_is_sorted(populated):
+    tree, _ = populated
+    import itertools
+
+    distances = [d for d, _ in itertools.islice(tree.nearest(500, 500, 0.0), 40)]
+    assert distances == sorted(distances)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_random_workload_property(seed):
+    """Random insert/delete/update interleaving keeps queries exact."""
+    rng = random.Random(seed)
+    tree = make_tree()
+    states: dict[int, MovingObject] = {}
+    uid_counter = 0
+    for _ in range(120):
+        action = rng.random()
+        if action < 0.6 or not states:
+            obj = mover(
+                uid_counter,
+                rng.uniform(0, 1000),
+                rng.uniform(0, 1000),
+                rng.uniform(-3, 3),
+                rng.uniform(-3, 3),
+                rng.uniform(0, 10),
+            )
+            tree.insert(obj)
+            states[obj.uid] = obj
+            uid_counter += 1
+        elif action < 0.8:
+            uid = rng.choice(sorted(states))
+            tree.delete(uid)
+            del states[uid]
+        else:
+            uid = rng.choice(sorted(states))
+            old = states[uid]
+            t_new = old.t_update + rng.uniform(0, 10)
+            x, y = old.position_at(t_new)
+            updated = old.moved_to(
+                x, y, rng.uniform(-3, 3), rng.uniform(-3, 3), t_new
+            )
+            tree.update(updated)
+            states[uid] = updated
+
+    tree.validate()
+    t_query = 25.0
+    window = Rect(200, 800, 200, 800)
+    expected = {
+        uid
+        for uid, obj in states.items()
+        if window.contains(*obj.position_at(t_query))
+    }
+    got = {obj.uid for obj in tree.range_query(window, t_query)}
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Policy-filter baseline on the TPR-tree
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def privacy_world():
+    objects = uniform_objects(250, seed=40)
+    states = {obj.uid: obj for obj in objects}
+    store = PolicyGenerator(1000.0, 1440.0, random.Random(41)).generate(
+        sorted(states), 8, 0.7
+    )
+    report = assign_sequence_values(sorted(states), store, 1000.0**2)
+    store.set_sequence_values(report.sequence_values)
+    tree = make_tree(page_size=1024)
+    for obj in objects:
+        tree.insert(obj)
+    return states, store, TPRFilterBaseline(tree, store)
+
+
+def test_tpr_baseline_prq_matches_oracle(privacy_world):
+    states, store, baseline = privacy_world
+    rng = random.Random(50)
+    for q_uid in rng.sample(sorted(states), 10):
+        window = Rect.from_center(
+            rng.uniform(0, 1000), rng.uniform(0, 1000), 150.0
+        )
+        expected = brute_force_prq(states, store, q_uid, window, 0.0)
+        got = {obj.uid for obj in baseline.range_query(q_uid, window, 0.0)}
+        assert got == expected
+
+
+def test_tpr_baseline_pknn_matches_oracle(privacy_world):
+    states, store, baseline = privacy_world
+    rng = random.Random(51)
+    for q_uid in rng.sample(sorted(states), 10):
+        qx, qy = states[q_uid].position_at(0.0)
+        expected = brute_force_pknn(states, store, q_uid, qx, qy, 3, 0.0)
+        got = baseline.knn_query(q_uid, qx, qy, 3, 0.0)
+        assert [round(d, 9) for d, _ in got] == [
+            round(d, 9) for d, _ in expected
+        ]
+
+
+def test_tpr_baseline_rejects_bad_k(privacy_world):
+    _, _, baseline = privacy_world
+    with pytest.raises(ValueError):
+        baseline.knn_query(0, 10, 10, 0, 0.0)
+
+def test_height_collapses_after_mass_deletion():
+    """Deleting most entries shrinks the tree through root collapse."""
+    tree = make_tree()
+    objects = uniform_objects(400, seed=19)
+    for obj in objects:
+        tree.insert(obj)
+    tall = tree.height
+    assert tall >= 2
+    for obj in objects[:-5]:
+        tree.delete(obj.uid)
+    tree.validate()
+    assert tree.height <= tall
+    assert {obj.uid for obj in tree.fetch_all()} == {
+        obj.uid for obj in objects[-5:]
+    }
+
+
+def test_reuse_after_full_deletion():
+    """A fully emptied tree accepts new inserts and answers queries."""
+    tree = make_tree()
+    first = uniform_objects(150, seed=23)
+    for obj in first:
+        tree.insert(obj)
+    for obj in first:
+        tree.delete(obj.uid)
+    assert len(tree) == 0
+
+    second = uniform_objects(150, seed=24)
+    relabeled = [
+        MovingObject(
+            uid=obj.uid + 10_000,
+            x=obj.x, y=obj.y, vx=obj.vx, vy=obj.vy, t_update=obj.t_update,
+        )
+        for obj in second
+    ]
+    for obj in relabeled:
+        tree.insert(obj)
+    tree.validate()
+    window = Rect(200, 800, 200, 800)
+    expected = {
+        obj.uid for obj in relabeled if window.contains(*obj.position_at(5.0))
+    }
+    assert {obj.uid for obj in tree.range_query(window, 5.0)} == expected

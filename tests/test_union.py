@@ -1,0 +1,202 @@
+"""Tests for the rectangle-union measure (``repro.spatial.union``)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Rect
+from repro.spatial.union import (
+    intersection_area,
+    interval_union_length,
+    pairwise_intersections,
+    union_area,
+)
+
+# ----------------------------------------------------------------------
+# 1-D interval unions
+# ----------------------------------------------------------------------
+
+
+def test_interval_union_empty():
+    assert interval_union_length([]) == 0.0
+
+
+def test_interval_union_single():
+    assert interval_union_length([(2.0, 5.0)]) == 3.0
+
+
+def test_interval_union_disjoint():
+    assert interval_union_length([(0, 1), (2, 4)]) == 3.0
+
+
+def test_interval_union_overlapping():
+    assert interval_union_length([(0, 3), (2, 5)]) == 5.0
+
+
+def test_interval_union_nested():
+    assert interval_union_length([(0, 10), (2, 5)]) == 10.0
+
+
+def test_interval_union_touching_merge():
+    assert interval_union_length([(0, 2), (2, 4)]) == 4.0
+
+
+def test_interval_union_ignores_degenerate():
+    assert interval_union_length([(3, 3), (5, 4), (0, 1)]) == 1.0
+
+
+def test_interval_union_unsorted_input():
+    assert interval_union_length([(6, 8), (0, 1), (3, 5)]) == 5.0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=0, max_value=50),
+        ),
+        max_size=12,
+    )
+)
+def test_interval_union_matches_integer_cover(raw):
+    """With integer endpoints the union length equals the covered-cell count."""
+    intervals = [(float(min(a, b)), float(max(a, b))) for a, b in raw]
+    covered = set()
+    for lo, hi in intervals:
+        covered.update(range(int(lo), int(hi)))
+    assert interval_union_length(intervals) == pytest.approx(len(covered))
+
+
+# ----------------------------------------------------------------------
+# 2-D rectangle unions
+# ----------------------------------------------------------------------
+
+
+def test_union_area_empty():
+    assert union_area([]) == 0.0
+
+
+def test_union_area_single():
+    assert union_area([Rect(0, 4, 0, 3)]) == 12.0
+
+
+def test_union_area_only_degenerate():
+    assert union_area([Rect(1, 1, 0, 5), Rect(0, 5, 2, 2)]) == 0.0
+
+
+def test_union_area_disjoint_sum():
+    rects = [Rect(0, 1, 0, 1), Rect(5, 7, 5, 8)]
+    assert union_area(rects) == pytest.approx(1.0 + 6.0)
+
+
+def test_union_area_identical_counted_once():
+    rect = Rect(0, 10, 0, 10)
+    assert union_area([rect, rect, rect]) == pytest.approx(100.0)
+
+
+def test_union_area_nested_is_outer():
+    rects = [Rect(0, 10, 0, 10), Rect(2, 5, 2, 5)]
+    assert union_area(rects) == pytest.approx(100.0)
+
+
+def test_union_area_partial_overlap():
+    # Two 2x2 squares overlapping in a 1x2 strip: 4 + 4 - 2 = 6.
+    rects = [Rect(0, 2, 0, 2), Rect(1, 3, 0, 2)]
+    assert union_area(rects) == pytest.approx(6.0)
+
+
+def test_union_area_cross_shape():
+    # A plus sign: horizontal 6x2 bar and vertical 2x6 bar sharing a 2x2 core.
+    rects = [Rect(0, 6, 2, 4), Rect(2, 4, 0, 6)]
+    assert union_area(rects) == pytest.approx(12.0 + 12.0 - 4.0)
+
+
+def rects_strategy(max_side=20, max_count=8):
+    coord = st.integers(min_value=0, max_value=max_side)
+
+    def to_rect(values):
+        x1, x2, y1, y2 = values
+        return Rect(min(x1, x2), max(x1, x2), min(y1, y2), max(y1, y2))
+
+    return st.lists(
+        st.tuples(coord, coord, coord, coord).map(to_rect), max_size=max_count
+    )
+
+
+@settings(max_examples=150)
+@given(rects_strategy())
+def test_union_area_matches_rasterization(rects):
+    """Integer-cornered rectangles: exact union equals covered unit cells."""
+    cells = set()
+    for rect in rects:
+        for ix in range(int(rect.x_lo), int(rect.x_hi)):
+            for iy in range(int(rect.y_lo), int(rect.y_hi)):
+                cells.add((ix, iy))
+    assert union_area(rects) == pytest.approx(len(cells))
+
+
+@settings(max_examples=150)
+@given(rects_strategy())
+def test_union_area_bounds(rects):
+    """max single area <= union <= sum of areas."""
+    total = union_area(rects)
+    areas = [rect.area for rect in rects]
+    assert total <= sum(areas) + 1e-9
+    if areas:
+        assert total >= max(areas) - 1e-9
+
+
+@settings(max_examples=100)
+@given(rects_strategy(max_count=5), rects_strategy(max_count=5))
+def test_union_area_monotone(lhs, rhs):
+    """Adding rectangles never shrinks the union."""
+    assert union_area(lhs + rhs) >= union_area(lhs) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Intersections of unions
+# ----------------------------------------------------------------------
+
+
+def test_pairwise_intersections_drops_degenerate():
+    # The rectangles touch along an edge: zero-area overlap is dropped.
+    pieces = pairwise_intersections([Rect(0, 2, 0, 2)], [Rect(2, 4, 0, 2)])
+    assert pieces == []
+
+
+def test_intersection_area_simple():
+    lhs = [Rect(0, 4, 0, 4)]
+    rhs = [Rect(2, 6, 2, 6)]
+    assert intersection_area(lhs, rhs) == pytest.approx(4.0)
+
+
+def test_intersection_area_union_on_one_side():
+    # Two left pieces jointly cover the right rectangle's overlap zone;
+    # double counting would report 8 instead of 4.
+    lhs = [Rect(0, 3, 0, 2), Rect(2, 4, 0, 2)]
+    rhs = [Rect(2, 4, 0, 2)]
+    assert intersection_area(lhs, rhs) == pytest.approx(4.0)
+
+
+@settings(max_examples=100)
+@given(rects_strategy(max_count=4), rects_strategy(max_count=4))
+def test_intersection_area_matches_rasterization(lhs, rhs):
+    cells_l = set()
+    for rect in lhs:
+        for ix in range(int(rect.x_lo), int(rect.x_hi)):
+            for iy in range(int(rect.y_lo), int(rect.y_hi)):
+                cells_l.add((ix, iy))
+    cells_r = set()
+    for rect in rhs:
+        for ix in range(int(rect.x_lo), int(rect.x_hi)):
+            for iy in range(int(rect.y_lo), int(rect.y_hi)):
+                cells_r.add((ix, iy))
+    assert intersection_area(lhs, rhs) == pytest.approx(len(cells_l & cells_r))
+
+
+@settings(max_examples=100)
+@given(rects_strategy(max_count=4), rects_strategy(max_count=4))
+def test_intersection_bounded_by_each_union(lhs, rhs):
+    shared = intersection_area(lhs, rhs)
+    assert shared <= union_area(lhs) + 1e-9
+    assert shared <= union_area(rhs) + 1e-9

@@ -1,0 +1,46 @@
+"""Tests for the deviation/deadline update trigger."""
+
+import pytest
+
+from repro.motion.objects import MovingObject
+from repro.motion.update_policy import UpdatePolicy
+
+
+def served(**overrides):
+    fields = dict(uid=1, x=0.0, y=0.0, vx=1.0, vy=0.0, t_update=0.0)
+    fields.update(overrides)
+    return MovingObject(**fields)
+
+
+def test_no_update_when_prediction_holds():
+    policy = UpdatePolicy(deviation_threshold=5.0, max_update_interval=120.0)
+    # True position exactly on the predicted track.
+    assert not policy.must_update(served(), true_x=10.0, true_y=0.0, now=10.0)
+
+
+def test_update_on_deviation():
+    policy = UpdatePolicy(deviation_threshold=5.0, max_update_interval=120.0)
+    # Predicted (10, 0); true position 7 units off.
+    assert policy.must_update(served(), true_x=10.0, true_y=7.0, now=10.0)
+
+
+def test_small_deviation_tolerated():
+    policy = UpdatePolicy(deviation_threshold=5.0, max_update_interval=120.0)
+    assert not policy.must_update(served(), true_x=10.0, true_y=4.9, now=10.0)
+
+
+def test_deadline_forces_update_even_without_deviation():
+    policy = UpdatePolicy(deviation_threshold=5.0, max_update_interval=120.0)
+    assert policy.must_update(served(), true_x=120.0, true_y=0.0, now=120.0)
+
+
+def test_zero_threshold_updates_on_any_drift():
+    policy = UpdatePolicy(deviation_threshold=0.0, max_update_interval=120.0)
+    assert policy.must_update(served(), true_x=10.0, true_y=1e-9, now=10.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        UpdatePolicy(deviation_threshold=-1.0)
+    with pytest.raises(ValueError):
+        UpdatePolicy(max_update_interval=0.0)

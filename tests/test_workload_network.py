@@ -1,0 +1,118 @@
+"""Tests for the network-based movement generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.network import SPEED_CLASSES, NetworkMovement
+
+
+def make(n_destinations=30, seed=4):
+    return NetworkMovement(1000.0, n_destinations, random.Random(seed))
+
+
+def point_to_segment(px, py, ax, ay, bx, by):
+    """Distance from point to segment (for on-route checks)."""
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0:
+        return math.hypot(px - ax, py - ay)
+    t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+    return math.hypot(px - (ax + t * dx), py - (ay + t * dy))
+
+
+def min_route_distance(movement, x, y):
+    best = float("inf")
+    for a, peers in enumerate(movement.neighbors):
+        ax, ay = movement.destinations[a]
+        for b in peers:
+            bx, by = movement.destinations[b]
+            best = min(best, point_to_segment(x, y, ax, ay, bx, by))
+    return best
+
+
+def test_routes_are_two_way_and_connected():
+    movement = make()
+    for a, peers in enumerate(movement.neighbors):
+        assert peers, f"destination {a} has no routes"
+        for b in peers:
+            assert a in movement.neighbors[b]
+    # Connectivity via BFS.
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for peer in movement.neighbors[node]:
+            if peer not in seen:
+                seen.add(peer)
+                frontier.append(peer)
+    assert len(seen) == len(movement.destinations)
+
+
+def test_objects_start_on_routes():
+    movement = make()
+    for obj in movement.initial_objects(200):
+        assert min_route_distance(movement, obj.x, obj.y) < 1e-6
+
+
+def test_objects_stay_on_routes_as_they_move():
+    movement = make()
+    objects = movement.initial_objects(100)
+    for step in range(1, 4):
+        objects = [movement.advance(obj, step * 50.0) for obj in objects]
+        for obj in objects:
+            assert min_route_distance(movement, obj.x, obj.y) < 1e-6
+
+
+def test_speed_classes_respected():
+    movement = make()
+    objects = movement.initial_objects(300)
+    for obj in objects:
+        assert obj.speed <= max(SPEED_CLASSES) + 1e-9
+    observed = {round(movement._states[obj.uid].vmax, 2) for obj in objects}
+    assert observed == {0.75, 1.5, 3.0}
+
+
+def test_movement_skew_grows_with_fewer_destinations():
+    """Fewer hubs concentrate the population — the Figure 16 skew knob.
+
+    Measured as occupancy of a coarse grid: fewer destinations must leave
+    more cells empty."""
+
+    def occupancy(n_destinations):
+        movement = make(n_destinations=n_destinations, seed=9)
+        objects = movement.initial_objects(2000)
+        cells = {(int(obj.x // 100), int(obj.y // 100)) for obj in objects}
+        return len(cells)
+
+    assert occupancy(5) < occupancy(200)
+
+
+def test_advance_cannot_rewind():
+    movement = make()
+    obj = movement.initial_objects(1)[0]
+    moved = movement.advance(obj, 10.0)
+    with pytest.raises(ValueError):
+        movement.advance(moved, 5.0)
+
+
+def test_requires_two_destinations():
+    with pytest.raises(ValueError):
+        NetworkMovement(1000.0, 1, random.Random(0))
+
+
+def test_velocity_points_along_current_edge():
+    movement = make()
+    for obj in movement.initial_objects(50):
+        if obj.speed == 0:
+            continue
+        state = movement._states[obj.uid]
+        (ax, ay) = movement.destinations[state.origin]
+        (bx, by) = movement.destinations[state.target]
+        edge = (bx - ax, by - ay)
+        norm = math.hypot(*edge)
+        if norm == 0:
+            continue
+        cross = abs(edge[0] * obj.vy - edge[1] * obj.vx) / norm / max(obj.speed, 1e-9)
+        assert cross < 1e-6

@@ -1,0 +1,70 @@
+"""Tests for the query workload generator."""
+
+import random
+
+import pytest
+
+from repro.motion.objects import MovingObject
+from repro.workloads.queries import QueryGenerator
+
+
+def make(seed=6):
+    return QueryGenerator(1000.0, random.Random(seed))
+
+
+def test_range_queries_respect_window_side():
+    generator = make()
+    queries = generator.range_queries(list(range(50)), 40, 200.0, 7.5)
+    assert len(queries) == 40
+    for query in queries:
+        assert query.window.width == pytest.approx(200.0)
+        assert query.window.height == pytest.approx(200.0)
+        assert 0 <= query.window.x_lo and query.window.x_hi <= 1000
+        assert 0 <= query.window.y_lo and query.window.y_hi <= 1000
+        assert query.q_uid in range(50)
+        assert query.t_query == 7.5
+
+
+def test_full_space_window_allowed():
+    generator = make()
+    queries = generator.range_queries([1], 3, 1000.0, 0.0)
+    for query in queries:
+        assert query.window.x_lo == 0.0
+        assert query.window.x_hi == 1000.0
+
+
+def test_invalid_window_rejected():
+    generator = make()
+    with pytest.raises(ValueError):
+        generator.range_queries([1], 1, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        generator.range_queries([1], 1, 1500.0, 0.0)
+
+
+def test_knn_queries_issued_from_user_location():
+    generator = make()
+    states = {
+        uid: MovingObject(uid=uid, x=uid * 10.0, y=uid * 5.0, vx=1.0, vy=0.0, t_update=0.0)
+        for uid in range(20)
+    }
+    queries = generator.knn_queries(states, 15, 5, 10.0)
+    assert len(queries) == 15
+    for query in queries:
+        state = states[query.q_uid]
+        expected = state.position_at(10.0)
+        assert query.qx == pytest.approx(expected[0])
+        assert query.qy == pytest.approx(expected[1])
+        assert query.k == 5
+
+
+def test_knn_invalid_k():
+    generator = make()
+    states = {1: MovingObject(uid=1, x=0, y=0, vx=0, vy=0, t_update=0)}
+    with pytest.raises(ValueError):
+        generator.knn_queries(states, 1, 0, 0.0)
+
+
+def test_deterministic_under_seed():
+    a = make(seed=42).range_queries(list(range(10)), 5, 100.0, 0.0)
+    b = make(seed=42).range_queries(list(range(10)), 5, 100.0, 0.0)
+    assert a == b

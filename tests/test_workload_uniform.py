@@ -1,0 +1,75 @@
+"""Tests for the uniform movement generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.uniform import UniformMovement
+
+
+def make(seed=3, max_speed=3.0):
+    return UniformMovement(1000.0, max_speed, random.Random(seed))
+
+
+def test_initial_population_shape():
+    movement = make()
+    objects = movement.initial_objects(500)
+    assert len(objects) == 500
+    assert [obj.uid for obj in objects] == list(range(500))
+    for obj in objects:
+        assert 0 <= obj.x <= 1000
+        assert 0 <= obj.y <= 1000
+        assert obj.speed <= 3.0 + 1e-9
+        assert obj.t_update == 0.0
+
+
+def test_speeds_span_the_range():
+    movement = make()
+    speeds = [obj.speed for obj in movement.initial_objects(2000)]
+    assert min(speeds) < 0.3
+    assert max(speeds) > 2.7
+
+
+def test_positions_roughly_uniform():
+    movement = make()
+    objects = movement.initial_objects(4000)
+    left = sum(1 for obj in objects if obj.x < 500)
+    assert 0.45 < left / 4000 < 0.55
+    low = sum(1 for obj in objects if obj.y < 500)
+    assert 0.45 < low / 4000 < 0.55
+
+
+def test_advance_moves_along_velocity_then_redraws():
+    movement = make()
+    obj = movement.initial_objects(1)[0]
+    advanced = movement.advance(obj, 10.0)
+    expected = obj.position_at(10.0)
+    # Position continues the linear track (unless it bounced).
+    if 0 <= expected[0] <= 1000 and 0 <= expected[1] <= 1000:
+        assert advanced.x == pytest.approx(expected[0])
+        assert advanced.y == pytest.approx(expected[1])
+    assert advanced.t_update == 10.0
+    assert advanced.speed <= 3.0 + 1e-9
+
+
+def test_advance_bounces_back_into_space():
+    movement = make()
+    objects = movement.initial_objects(300)
+    current = objects
+    for step in range(1, 6):
+        current = [movement.advance(obj, step * 100.0) for obj in current]
+        for obj in current:
+            assert 0 <= obj.x <= 1000, obj
+            assert 0 <= obj.y <= 1000, obj
+
+
+def test_deterministic_under_seed():
+    a = make(seed=42).initial_objects(50)
+    b = make(seed=42).initial_objects(50)
+    assert a == b
+
+
+def test_negative_speed_rejected():
+    with pytest.raises(ValueError):
+        UniformMovement(1000.0, -1.0, random.Random(0))

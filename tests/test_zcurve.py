@@ -1,0 +1,76 @@
+"""Tests for the Z-order (Morton) encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.zcurve import z_decode, z_encode
+
+coordinate = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+def test_origin_is_zero():
+    assert z_encode(0, 0) == 0
+
+
+def test_first_quadrant_order():
+    """x occupies the even bits: (1,0) -> 1, (0,1) -> 2, (1,1) -> 3."""
+    assert z_encode(1, 0) == 1
+    assert z_encode(0, 1) == 2
+    assert z_encode(1, 1) == 3
+
+
+def test_known_value():
+    # x=0b101 spreads to 0b010001; y=0b011 spreads to 0b000101 shifted -> 0b001010
+    assert z_encode(5, 3) == 0b011011
+
+
+def test_decode_inverts_encode_examples():
+    for x, y in [(0, 0), (1, 2), (123, 456), (2**20 - 1, 3)]:
+        assert z_decode(z_encode(x, y)) == (x, y)
+
+
+def test_monotone_in_each_axis():
+    """Fixing one axis, the code grows with the other — the property the
+    O(1) z_span corner trick relies on."""
+    for y in (0, 7, 100):
+        codes = [z_encode(x, y) for x in range(64)]
+        assert codes == sorted(codes)
+    for x in (0, 7, 100):
+        codes = [z_encode(x, y) for y in range(64)]
+        assert codes == sorted(codes)
+
+
+def test_bijective_on_small_grid():
+    seen = {z_encode(x, y) for x in range(32) for y in range(32)}
+    assert seen == set(range(32 * 32))
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        z_encode(-1, 0)
+    with pytest.raises(ValueError):
+        z_encode(0, -1)
+    with pytest.raises(ValueError):
+        z_decode(-5)
+
+
+def test_oversized_rejected():
+    with pytest.raises(ValueError):
+        z_encode(1 << 33, 0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(x=coordinate, y=coordinate)
+def test_round_trip_property(x, y):
+    assert z_decode(z_encode(x, y)) == (x, y)
+
+
+@settings(max_examples=100, deadline=None)
+@given(x=coordinate, y=coordinate)
+def test_interleaving_is_bitwise(x, y):
+    """Each output bit is exactly one input bit."""
+    z = z_encode(x, y)
+    for bit in range(32):
+        assert (z >> (2 * bit)) & 1 == (x >> bit) & 1
+        assert (z >> (2 * bit + 1)) & 1 == (y >> bit) & 1
