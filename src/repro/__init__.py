@@ -33,6 +33,7 @@ from repro.core import (
     prq,
 )
 from repro.core.multipolicy import set_compatibility
+from repro.engine import BatchReport, ExecutionStats, QueryEngine
 from repro.motion import MovingObject, TimePartitioner, UpdatePolicy
 from repro.policy import (
     LocationPrivacyPolicy,
@@ -58,9 +59,12 @@ __version__ = "1.0.0"
 __all__ = [
     "BPlusTree",
     "BTreeConfig",
+    "BatchReport",
     "BufferPool",
     "BxTree",
     "CostModel",
+    "ExecutionStats",
+    "QueryEngine",
     "ExperimentConfig",
     "ExperimentHarness",
     "Grid",

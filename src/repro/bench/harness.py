@@ -12,6 +12,7 @@ the reported figure is the paper's "average I/O cost of N queries".
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field, replace
 
 from repro.bench.oracle import brute_force_pknn, brute_force_prq
@@ -20,6 +21,7 @@ from repro.bxtree.tree import BxTree
 from repro.core.peb_tree import PEBTree
 from repro.core.pknn import pknn
 from repro.core.prq import prq
+from repro.engine import QueryEngine
 from repro.core.sequencing import EncodingReport, assign_sequence_values
 from repro.motion.objects import MovingObject
 from repro.motion.partitions import TimePartitioner
@@ -84,6 +86,48 @@ class QueryCosts:
         if self.peb_io <= 0:
             return float("inf") if self.baseline_io > 0 else 1.0
         return self.baseline_io / self.peb_io
+
+
+@dataclass
+class BatchQueryCosts:
+    """One-at-a-time vs batched execution of the same PRQ workload.
+
+    Attributes:
+        sequential_io: physical reads per query, queries run one at a
+            time through :func:`repro.core.prq.prq`.
+        batched_io: physical reads per query through
+            :meth:`repro.engine.QueryEngine.execute_batch`.
+        n_queries: batch size.
+        dedup_ratio: fraction of band requests the batch served without
+            touching the tree (:attr:`repro.engine.ExecutionStats.dedup_ratio`).
+        sequential_seconds, batched_seconds: wall-clock of each mode.
+    """
+
+    sequential_io: float
+    batched_io: float
+    n_queries: int
+    dedup_ratio: float
+    sequential_seconds: float
+    batched_seconds: float
+
+    @property
+    def io_reduction(self) -> float:
+        """Sequential reads over batched reads (>1 means batching wins)."""
+        if self.batched_io <= 0:
+            return float("inf") if self.sequential_io > 0 else 1.0
+        return self.sequential_io / self.batched_io
+
+    @property
+    def sequential_qps(self) -> float:
+        if self.sequential_seconds <= 0:
+            return float("inf")
+        return self.n_queries / self.sequential_seconds
+
+    @property
+    def batched_qps(self) -> float:
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.n_queries / self.batched_seconds
 
 
 class ExperimentHarness:
@@ -263,6 +307,63 @@ class ExperimentHarness:
         count = len(queries)
         return QueryCosts(
             peb_io=peb_reads / count, baseline_io=base_reads / count, n_queries=count
+        )
+
+    def run_batched_prq(
+        self, n_queries: int | None = None, window_side: float | None = None
+    ) -> BatchQueryCosts:
+        """Measure one PRQ workload one-at-a-time vs batch-executed.
+
+        The same fresh random query specs run twice on the paper's
+        query buffer: first sequentially through :func:`prq`, then
+        through the engine's batch executor, which merges overlapping
+        band requests across issuers so one physical scan serves every
+        query that needs it.  Both phases start from a *cold* buffer —
+        otherwise the batched phase would inherit the pages the
+        sequential phase just heated and the comparison would credit
+        cache warming to batching.  Result sets are asserted identical
+        — the batch path is an I/O optimization, never an
+        approximation.
+        """
+        count = n_queries if n_queries is not None else self.config.n_queries
+        if count < 1:
+            raise ValueError(f"n_queries must be positive, got {count}")
+        side = window_side if window_side is not None else self.config.window_side
+        specs = self.query_generator.range_queries(
+            sorted(self.states), count, side, self.now
+        )
+
+        self._start_measuring(self.peb_pool)
+        self.peb_pool.clear()
+        started = time.perf_counter()
+        sequential = [
+            prq(self.peb_tree, spec.q_uid, spec.window, spec.t_query)
+            for spec in specs
+        ]
+        sequential_seconds = time.perf_counter() - started
+        sequential_reads = self._stop_measuring(self.peb_pool)
+
+        self._start_measuring(self.peb_pool)
+        self.peb_pool.clear()
+        started = time.perf_counter()
+        report = QueryEngine(self.peb_tree).execute_batch(specs)
+        batched_seconds = time.perf_counter() - started
+        batched_reads = self._stop_measuring(self.peb_pool)
+
+        for spec, single, batched in zip(specs, sequential, report.results):
+            if single.uids != batched.uids:
+                raise AssertionError(
+                    f"batch mismatch for {spec}: sequential={sorted(single.uids)} "
+                    f"batched={sorted(batched.uids)}"
+                )
+
+        return BatchQueryCosts(
+            sequential_io=sequential_reads / count,
+            batched_io=batched_reads / count,
+            n_queries=count,
+            dedup_ratio=report.stats.dedup_ratio,
+            sequential_seconds=sequential_seconds,
+            batched_seconds=batched_seconds,
         )
 
     # ------------------------------------------------------------------

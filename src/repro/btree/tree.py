@@ -162,6 +162,24 @@ class BPlusTree:
             self._collapse_root()
         return found
 
+    def replace(self, key: int, uid: int, value: bytes) -> bool:
+        """Rewrite the payload of an existing entry in place.
+
+        A pure leaf-value rewrite: one descent, no structural change,
+        no rebalancing — the cheap path for moving-object updates whose
+        key is unchanged.  Returns False when the entry does not exist
+        (nothing is written).
+        """
+        ck = (key, uid)
+        leaf_id = self._descend(ck)[-1][0]
+        leaf: LeafNode = self.pool.get(leaf_id)
+        pos = bisect_left(leaf.keys, ck)
+        if pos == len(leaf.keys) or leaf.keys[pos] != ck:
+            return False
+        leaf.values[pos] = value
+        self.pool.put(leaf_id, leaf)
+        return True
+
     def search(self, key: int, uid: int) -> bytes | None:
         """Point lookup; None if the entry does not exist."""
         ck = (key, uid)

@@ -19,11 +19,12 @@ the choice is worth:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
-from repro.bxtree.queries import enlargement_for_label
 from repro.core.peb_key import PEBKeyCodec
 from repro.core.peb_tree import PEBTree
 from repro.core.prq import PRQResult
+from repro.engine import QueryEngine
 from repro.spatial.geometry import Rect
 
 
@@ -36,6 +37,8 @@ class ZVFirstKeyCodec(PEBKeyCodec):
     keys of the requested (SV, Z-window) cell) but now enclose every
     sequence value whose Z-value falls inside the window.
     """
+
+    sv_major: ClassVar[bool] = False
 
     def compose_quantized(self, tid: int, sv_q: int, zv: int) -> int:
         if not 0 <= tid < self.tid_count:
@@ -78,34 +81,15 @@ def prq_span_scan(
     falls between the issuer's least and greatest friend, regardless of
     any policy with the issuer.  The benchmark compares its I/O against
     the per-SV ranges the prose of Section 5.3 describes (our default
-    :func:`repro.core.prq.prq`).
+    :func:`repro.core.prq.prq`).  The scan runs through the engine's
+    span-scan plan (:meth:`repro.engine.QueryPlanner.plan_span_scan`).
     """
-    friends = tree.store.friend_list(q_uid)
     result = PRQResult()
-    if not friends:
-        return result
-    sv_min = friends[0][0]
-    sv_max = friends[-1][0]
 
-    seen: set[int] = set()
-    for label in tree.partitioner.live_labels(t_query):
-        tid = tree.partitioner.partition_of_label(label)
-        enlarged = window.expanded(
-            enlargement_for_label(label, t_query, tree.max_speed_x),
-            enlargement_for_label(label, t_query, tree.max_speed_y),
-        )
-        for z_lo, z_hi in tree.grid.decompose(enlarged, coarsen=True):
-            lo, _ = tree.codec.search_range(tid, sv_min, z_lo, z_lo)
-            _, hi = tree.codec.search_range(tid, sv_max, z_hi, z_hi)
-            for _, _, payload in tree.btree.scan_range(lo, hi):
-                obj, _ = tree.records.unpack(payload)
-                if obj.uid in seen:
-                    continue
-                seen.add(obj.uid)
-                result.candidates_examined += 1
-                x, y = obj.position_at(t_query)
-                if window.contains(x, y) and tree.store.evaluate(
-                    obj.uid, q_uid, x, y, t_query
-                ):
-                    result.users.append(obj)
+    def collect(obj, x, y) -> bool:
+        result.users.append(obj)
+        return False
+
+    execution = QueryEngine(tree).execute_span_scan(q_uid, window, t_query, collect)
+    result.candidates_examined = execution.candidates_examined
     return result

@@ -12,14 +12,18 @@ Two aggregates frequently requested of location services:
   range, the building block of privacy-respecting heat maps: the issuer
   learns how many of their visible friends are in each cell, not where
   exactly each friend stands.
+
+Both are thin adapters over :class:`repro.engine.QueryEngine`: the
+scanning, skip rules, and verification are the PRQ pipeline; only the
+per-match action (count, bucket) and the early-stop predicate differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bxtree.queries import enlargement_for_label
 from repro.core.peb_tree import PEBTree
+from repro.engine import QueryEngine
 from repro.spatial.geometry import Rect
 
 
@@ -59,38 +63,15 @@ def pcount(
     """
     if at_least is not None and at_least < 1:
         raise ValueError(f"at_least must be positive, got {at_least}")
-    friends = tree.store.friend_list(q_uid)
     result = CountResult()
-    if not friends:
-        return result
 
-    located: set[int] = set()
-    for label in tree.partitioner.live_labels(t_query):
-        tid = tree.partitioner.partition_of_label(label)
-        enlarged = window.expanded(
-            enlargement_for_label(label, t_query, tree.max_speed_x),
-            enlargement_for_label(label, t_query, tree.max_speed_y),
-        )
-        span = tree.grid.z_span(enlarged)
-        if span is None:
-            continue
-        z_lo, z_hi = span
-        for sv, friend_uid in friends:
-            if friend_uid in located:
-                continue
-            for obj in tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
-                if obj.uid in located:
-                    continue
-                located.add(obj.uid)
-                result.candidates_examined += 1
-                x, y = obj.position_at(t_query)
-                if window.contains(x, y) and tree.store.evaluate(
-                    obj.uid, q_uid, x, y, t_query
-                ):
-                    result.count += 1
-                    if at_least is not None and result.count >= at_least:
-                        result.terminated_early = True
-                        return result
+    def tally(obj, x, y) -> bool:
+        result.count += 1
+        return at_least is not None and result.count >= at_least
+
+    execution = QueryEngine(tree).execute_range(q_uid, window, t_query, tally)
+    result.candidates_examined = execution.candidates_examined
+    result.terminated_early = execution.stopped_early
     return result
 
 
@@ -133,40 +114,17 @@ def pdensity_grid(
         raise ValueError(f"grid must be at least 1x1, got {rows}x{columns}")
     if window.width <= 0 or window.height <= 0:
         raise ValueError("density window must have positive area")
-    friends = tree.store.friend_list(q_uid)
     result = DensityResult(rows=rows, columns=columns)
-    if not friends:
-        return result
-
     cell_width = window.width / columns
     cell_height = window.height / rows
-    located: set[int] = set()
-    for label in tree.partitioner.live_labels(t_query):
-        tid = tree.partitioner.partition_of_label(label)
-        enlarged = window.expanded(
-            enlargement_for_label(label, t_query, tree.max_speed_x),
-            enlargement_for_label(label, t_query, tree.max_speed_y),
-        )
-        span = tree.grid.z_span(enlarged)
-        if span is None:
-            continue
-        z_lo, z_hi = span
-        for sv, friend_uid in friends:
-            if friend_uid in located:
-                continue
-            for obj in tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
-                if obj.uid in located:
-                    continue
-                located.add(obj.uid)
-                result.candidates_examined += 1
-                x, y = obj.position_at(t_query)
-                if window.contains(x, y) and tree.store.evaluate(
-                    obj.uid, q_uid, x, y, t_query
-                ):
-                    column = min(int((x - window.x_lo) / cell_width), columns - 1)
-                    row = min(int((y - window.y_lo) / cell_height), rows - 1)
-                    result.cells[(row, column)] = (
-                        result.cells.get((row, column), 0) + 1
-                    )
-                    result.total += 1
+
+    def bucket(obj, x, y) -> bool:
+        column = min(int((x - window.x_lo) / cell_width), columns - 1)
+        row = min(int((y - window.y_lo) / cell_height), rows - 1)
+        result.cells[(row, column)] = result.cells.get((row, column), 0) + 1
+        result.total += 1
+        return False
+
+    execution = QueryEngine(tree).execute_range(q_uid, window, t_query, bucket)
+    result.candidates_examined = execution.candidates_examined
     return result

@@ -25,6 +25,7 @@ domain, used for normalization.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.policy.lpp import LocationPrivacyPolicy
@@ -68,7 +69,14 @@ def compatibility(
         time_overlap = _time_overlap(p12, p21)
         if region_overlap > 0.0 and time_overlap > 0.0:
             alpha = (region_overlap / space_area) * (time_overlap / time_domain)
-            return CompatibilityResult(alpha=alpha, degree=(1.0 + alpha) / 2.0, mutual=True)
+            degree = (1.0 + alpha) / 2.0
+            if degree <= 0.5:
+                # alpha below the double-precision ulp of 1.0 rounds
+                # (1 + alpha)/2 to exactly 0.5; keep the documented
+                # invariant that mutual pairs rank strictly above every
+                # non-simultaneous pair (whose degree caps at 0.5).
+                degree = math.nextafter(0.5, 1.0)
+            return CompatibilityResult(alpha=alpha, degree=degree, mutual=True)
 
     alpha = 0.0
     for policy in (p12, p21):

@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.peb_tree import PEBTree
+from repro.engine import QueryEngine
 from repro.motion.objects import MovingObject
 from repro.policy.lpp import LocationPrivacyPolicy
 from repro.policy.timeset import TimeInterval, TimeSet
@@ -77,17 +78,13 @@ class ContinuousPRQ:
         self.seed_io = tree.stats.physical_reads - reads_before
 
     def _seed(self) -> None:
-        """Fetch every friend's motion function via its SV band."""
-        friends = self.store.friend_list(self.q_uid)
-        for tid in range(self.tree.partitioner.num_partitions):
-            for sv, friend_uid in friends:
-                if friend_uid in self._tracked:
-                    continue
-                for obj in self.tree.scan_sv_zrange(
-                    tid, sv, 0, self.tree.grid.max_z
-                ):
-                    if obj.uid not in self._tracked and self._is_friend(obj.uid):
-                        self._tracked[obj.uid] = obj
+        """Fetch every friend's motion function via its SV band.
+
+        Delegates to the engine's seed plan: one full-Z-range band per
+        (partition, friend), with the engine's scan memoization sharing
+        the physical scan of friends whose quantized SVs collide.
+        """
+        self._tracked = QueryEngine(self.tree).collect_friend_states(self.q_uid)
 
     def _is_friend(self, uid: int) -> bool:
         return bool(self.store.policies_for(uid, self.q_uid))

@@ -18,6 +18,7 @@ composite ``(key, uid)`` entry identity in the B+-tree handles that).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 #: Default fixed-point scale for sequence values (7 fractional bits).
 DEFAULT_SV_SCALE = 128
@@ -38,6 +39,13 @@ class PEBKeyCodec:
         zv_bits: bit width of the Z-value (twice the grid bits).
         sv_scale: fixed-point scale applied to sequence values.
     """
+
+    #: Key layout marker: True when the SV field sits above the ZV field
+    #: (Equation 5), so all entries of one quantized SV are key-contiguous
+    #: and ordered by ZV.  Layout-dependent optimizations — the engine's
+    #: batch prefetch store subdivides scans by ZV — must check this;
+    #: the ZV-first ablation codec overrides it to False.
+    sv_major: ClassVar[bool] = True
 
     tid_count: int
     sv_bits: int = DEFAULT_SV_BITS

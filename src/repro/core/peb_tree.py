@@ -117,7 +117,26 @@ class PEBTree:
         return True
 
     def update(self, obj: MovingObject, pntp: int = 0) -> None:
-        """Replace a user's entry with a new state (delete + insert)."""
+        """Replace a user's entry with a new state.
+
+        When the new PEB-key equals the memoized live key — the user
+        re-reported from the same grid cell within the same time
+        partition, a common case for slow or stationary users — the
+        leaf payload is rewritten in place: one descent, no structural
+        delete/reinsert, no rebalancing.  Otherwise the entry moves via
+        the usual delete + insert.
+        """
+        old_key = self._live_keys.get(obj.uid)
+        if old_key is None:
+            self.insert(obj, pntp)
+            return
+        new_key = self.key_for(obj)
+        if new_key == old_key:
+            if not self.btree.replace(old_key, obj.uid, self.records.pack(obj, pntp)):
+                raise RuntimeError(f"update memo out of sync for user {obj.uid}")
+            self.max_speed_x = max(self.max_speed_x, abs(obj.vx))
+            self.max_speed_y = max(self.max_speed_y, abs(obj.vy))
+            return
         self.delete(obj.uid)
         self.insert(obj, pntp)
 
@@ -146,8 +165,24 @@ class PEBTree:
         return [self.records.unpack(value)[0] for _, _, value in self.btree.items()]
 
     # ------------------------------------------------------------------
-    # Scan primitive shared by PRQ and PkNN
+    # Scan primitives shared by the query engine
     # ------------------------------------------------------------------
+
+    def scan_band(self, tid: int, sv_lo_q: int, sv_hi_q: int, z_lo: int, z_hi: int):
+        """Yield ``(zv, object)`` for one key-contiguous band.
+
+        The generalized search range
+        ``[TID ⊕ SV_lo ⊕ ZV_lo ; TID ⊕ SV_hi ⊕ ZV_hi]`` over *quantized*
+        sequence-value bounds: equal bounds give the per-friend ranges
+        of Section 5.3, distinct bounds the coarse whole-friend-list
+        span of Figure 7's pseudo-code.  The engine's band scanner uses
+        the returned curve values to subdivide prefetched scans.
+        """
+        lo = self.codec.compose_quantized(tid, sv_lo_q, z_lo)
+        hi = self.codec.compose_quantized(tid, sv_hi_q, z_hi)
+        for key, _, payload in self.btree.scan_range(lo, hi):
+            obj, _ = self.records.unpack(payload)
+            yield self.codec.decompose(key)[2], obj
 
     def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
         """Yield object states with this exact (quantized) SV and a
@@ -156,7 +191,6 @@ class PEBTree:
         One search range of Section 5.3:
         ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.
         """
-        lo, hi = self.codec.search_range(tid, sv, z_lo, z_hi)
-        for _, _, payload in self.btree.scan_range(lo, hi):
-            obj, _ = self.records.unpack(payload)
+        sv_q = self.codec.quantize_sv(sv)
+        for _, obj in self.scan_band(tid, sv_q, sv_q, z_lo, z_hi):
             yield obj

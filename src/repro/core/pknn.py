@@ -22,6 +22,13 @@ returned.
 Skip rule: a user has one location, so a friend whose entry has been
 seen anywhere is never searched again; the query also stops as soon as
 every friend has been located — no spatial window can reveal more.
+
+The adaptive control flow (the matrix traversal) lives here, but all
+index access and verification route through :mod:`repro.engine`: the
+planner supplies the friend list and partition contexts, the band
+scanner executes every cell's Z-interval pieces (memoized, and — inside
+a batch — served from the cross-query prefetch store), and the verifier
+centralizes locate + policy evaluation + the once-per-user skip rule.
 """
 
 from __future__ import annotations
@@ -29,8 +36,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.bxtree.queries import enlargement_for_label, estimate_knn_distance
+from repro.bxtree.queries import estimate_knn_distance
 from repro.core.peb_tree import PEBTree
+from repro.engine import BandScanner, CandidateVerifier, QueryPlanner
 from repro.motion.objects import MovingObject
 from repro.spatial.decompose import ZInterval, subtract_interval
 from repro.spatial.geometry import Rect, euclidean
@@ -57,28 +65,37 @@ class PKNNResult:
 
 
 class _MatrixSearch:
-    """One PkNN execution; holds the per-query scan state."""
+    """One PkNN execution; holds the per-query scan state.
+
+    ``planner`` and ``scanner`` default to fresh per-query instances;
+    the batch executor passes its shared planner and scanner so cell
+    scans are deduplicated across the whole batch.
+    """
 
     def __init__(
-        self, tree: PEBTree, q_uid: int, qx: float, qy: float, k: int, t_query: float
+        self,
+        tree: PEBTree,
+        q_uid: int,
+        qx: float,
+        qy: float,
+        k: int,
+        t_query: float,
+        planner: QueryPlanner | None = None,
+        scanner: BandScanner | None = None,
     ):
         self.tree = tree
+        self.scanner = scanner if scanner is not None else BandScanner(tree)
+        self.planner = planner if planner is not None else QueryPlanner(tree)
         self.q_uid = q_uid
         self.qx = qx
         self.qy = qy
         self.k = k
         self.t_query = t_query
-        self.friends = tree.store.friend_list(q_uid)
-        self.located: set[int] = set()
+        self.friends = self.planner.friends(q_uid)
+        self.verifier = CandidateVerifier(tree.store, q_uid, t_query)
         self.candidates: dict[int, tuple[float, MovingObject]] = {}
         self.result = PKNNResult()
-        # Partition contexts: (tid, per-side enlargement) per live label.
-        self.contexts = []
-        for label in tree.partitioner.live_labels(t_query):
-            tid = tree.partitioner.partition_of_label(label)
-            dx = enlargement_for_label(label, t_query, tree.max_speed_x)
-            dy = enlargement_for_label(label, t_query, tree.max_speed_y)
-            self.contexts.append((tid, dx, dy))
+        self.contexts = self.planner.contexts(t_query)
         # Radius step rq = Dk / k, floored at one grid cell so the round
         # count stays finite when k/N is tiny.  (k <= 0 short-circuits in
         # run() before the step is ever used.)
@@ -90,7 +107,15 @@ class _MatrixSearch:
         self.max_rounds = math.ceil(
             tree.grid.space_side * math.sqrt(2.0) / self.rq
         ) + 1
+        # Span cache keyed by (round_index, context_index).  Both axes
+        # are bounded — rounds never exceed max_rounds (enforced by
+        # _cell_order) and contexts is the fixed live-partition list —
+        # so the cache holds at most |contexts| * (max_rounds + 1)
+        # entries for the lifetime of this one query; it dies with the
+        # search.  ``_span_cache_capacity`` states the bound, and the
+        # tests assert the cache never exceeds it.
         self._span_cache: dict[tuple[int, int], ZInterval | None] = {}
+        self._span_cache_capacity = max(1, len(self.contexts)) * (self.max_rounds + 1)
 
     # ------------------------------------------------------------------
     # Scan plumbing
@@ -100,35 +125,34 @@ class _MatrixSearch:
         """Z window of the round's square under one partition's enlargement."""
         cache_key = (round_index, context_index)
         if cache_key not in self._span_cache:
-            _, dx, dy = self.contexts[context_index]
+            context = self.contexts[context_index]
             square = Rect.from_center(self.qx, self.qy, round_index * self.rq)
             self._span_cache[cache_key] = self.tree.grid.z_span(
-                square.expanded(dx, dy)
+                context.enlarged(square)
             )
         return self._span_cache[cache_key]
 
     def _consider(self, obj: MovingObject) -> None:
         """Locate, verify, and (if qualifying) admit one scanned entry."""
-        if obj.uid in self.located:
+        hit = self.verifier.admit(obj)
+        if hit is None:
             return
-        self.located.add(obj.uid)
-        self.result.candidates_examined += 1
-        x, y = obj.position_at(self.t_query)
-        if self.tree.store.evaluate(obj.uid, self.q_uid, x, y, self.t_query):
+        x, y, qualifies = hit
+        if qualifies:
             distance = euclidean(self.qx, self.qy, x, y)
             self.candidates[obj.uid] = (distance, obj)
 
     def _scan_pieces(self, sv: float, pieces: list[ZInterval], tid: int) -> None:
         for z_lo, z_hi in pieces:
-            for obj in self.tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
+            for _, obj in self.scanner.scan(self.planner.band(tid, sv, z_lo, z_hi)):
                 self._consider(obj)
 
     def scan_cell(self, row: int, round_index: int) -> None:
         """Scan matrix cell (friend ``row``, column ``round_index``)."""
         sv, friend_uid = self.friends[row]
-        if friend_uid in self.located:
+        if self.verifier.seen(friend_uid):
             return
-        for context_index, (tid, _, _) in enumerate(self.contexts):
+        for context_index, context in enumerate(self.contexts):
             span = self._span(round_index, context_index)
             if span is None:
                 continue
@@ -138,19 +162,24 @@ class _MatrixSearch:
                 else None
             )
             pieces = [span] if previous is None else subtract_interval(span, previous)
-            self._scan_pieces(sv, pieces, tid)
+            self._scan_pieces(sv, pieces, context.tid)
 
     def vertical_scan(self, start_row: int, kth_distance: float) -> None:
         """Sweep the remaining rows with the window shrunk to 2 * d_k."""
         square = Rect.from_center(self.qx, self.qy, kth_distance)
+        # The Z-span of the shrunk square is row-invariant; compute it
+        # once per partition context instead of once per remaining row.
+        spans = []
+        for context in self.contexts:
+            span = self.tree.grid.z_span(context.enlarged(square))
+            if span is not None:
+                spans.append((context.tid, span))
         for row in range(start_row, len(self.friends)):
             sv, friend_uid = self.friends[row]
-            if friend_uid in self.located:
+            if self.verifier.seen(friend_uid):
                 continue
-            for tid, dx, dy in self.contexts:
-                span = self.tree.grid.z_span(square.expanded(dx, dy))
-                if span is not None:
-                    self._scan_pieces(sv, [span], tid)
+            for tid, span in spans:
+                self._scan_pieces(sv, [span], tid)
 
     # ------------------------------------------------------------------
     # Control flow
@@ -174,7 +203,7 @@ class _MatrixSearch:
             if len(inside) >= self.k:
                 self.vertical_scan(row + 1, inside[self.k - 1][0])
                 return self._finish()
-            if friend_uids <= self.located:
+            if friend_uids <= self.verifier.located:
                 break  # every friend located; no window can add more
         return self._finish()
 
@@ -201,6 +230,7 @@ class _MatrixSearch:
     def _finish(self) -> PKNNResult:
         ranked = sorted(self.candidates.values(), key=lambda entry: entry[0])
         self.result.neighbors = ranked[: self.k]
+        self.result.candidates_examined = self.verifier.candidates_examined
         return self.result
 
 

@@ -1,36 +1,44 @@
 """The privacy-aware range query (Definition 2, Section 5.3, Figure 7).
 
-Four steps:
+Four steps, all implemented by :mod:`repro.engine`:
 
 1. Per live time partition, enlarge the query window (as in the Bx-tree)
-   and convert it to a Z-value window.
+   and convert it to a Z-value window — the planner.
 2. Fetch the query issuer's friend list — the users holding a policy
    about the issuer — sorted ascending by sequence value.
 3. Combine: for each friend SV and each partition, search the PEB-key
-   range ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.
-4. Verify every candidate's actual location at query time and its policy.
+   range ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]`` — the band scanner.
+4. Verify every candidate's actual location at query time and its policy
+   — the verifier.
 
 Skip rules of Section 5.3 ("once a candidate user is found, the remaining
 search intervals formed by this user's SV value are skipped ... a user
-has only one location"): we track every user whose entry has been seen,
+has only one location"): every user whose entry has been seen is tracked,
 and a friend already located is never searched again — in later
-Z-intervals *or* later partitions.
+Z-intervals *or* later partitions.  The executor applies the rule once
+for every query type.
 
 Because the SV occupies the bits above the ZV, all search ranges of one
-(partition, SV) pair are at most a few entries apart on disk; we scan the
-single covering range ``[SV ⊕ ZV_min ; SV ⊕ ZV_max]`` (the same
+(partition, SV) pair are at most a few entries apart on disk; the plan
+scans the single covering range ``[SV ⊕ ZV_min ; SV ⊕ ZV_max]`` (the same
 single-interval treatment the paper itself applies in the PkNN algorithm)
-and verify candidates.  The leaves touched are identical to scanning the
+and verifies candidates.  The leaves touched are identical to scanning the
 per-interval subranges with the paper's skip rules, so the I/O counts
 match the Figure 7 procedure while avoiding per-interval descents.
+
+This module is a thin adapter: it owns the public :func:`prq` signature
+and the :class:`PRQResult` type, and delegates execution to
+:class:`repro.engine.QueryEngine`.  Batches of concurrent PRQs should go
+through :meth:`repro.engine.QueryEngine.execute_batch`, which shares
+physical band scans across issuers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bxtree.queries import enlargement_for_label
 from repro.core.peb_tree import PEBTree
+from repro.engine import QueryEngine
 from repro.motion.objects import MovingObject
 from repro.spatial.geometry import Rect
 
@@ -53,35 +61,26 @@ class PRQResult:
         return {obj.uid for obj in self.users}
 
 
+def prq_from_plan(engine, plan, scanner=None) -> PRQResult:
+    """Materialize a :class:`PRQResult` from one planned range scan.
+
+    The single adapter between the engine and the PRQ result type:
+    :func:`prq` runs it with a fresh per-query scanner, and the batch
+    executor replays it per spec against the batch's shared scanner —
+    so batched results cannot drift from the one-at-a-time path.
+    """
+    result = PRQResult()
+
+    def collect(obj: MovingObject, x: float, y: float) -> bool:
+        result.users.append(obj)
+        return False
+
+    execution = engine.run_range_plan(plan, collect, scanner)
+    result.candidates_examined = execution.candidates_examined
+    return result
+
+
 def prq(tree: PEBTree, q_uid: int, window: Rect, t_query: float) -> PRQResult:
     """Run a PRQ ``(qID=q_uid, R=window, tq=t_query)`` on the PEB-tree."""
-    friends = tree.store.friend_list(q_uid)
-    result = PRQResult()
-    if not friends:
-        return result
-
-    located: set[int] = set()
-    for label in tree.partitioner.live_labels(t_query):
-        tid = tree.partitioner.partition_of_label(label)
-        enlarged = window.expanded(
-            enlargement_for_label(label, t_query, tree.max_speed_x),
-            enlargement_for_label(label, t_query, tree.max_speed_y),
-        )
-        span = tree.grid.z_span(enlarged)
-        if span is None:
-            continue
-        z_lo, z_hi = span
-        for sv, friend_uid in friends:
-            if friend_uid in located:
-                continue
-            for obj in tree.scan_sv_zrange(tid, sv, z_lo, z_hi):
-                if obj.uid in located:
-                    continue
-                located.add(obj.uid)
-                result.candidates_examined += 1
-                x, y = obj.position_at(t_query)
-                if window.contains(x, y) and tree.store.evaluate(
-                    obj.uid, q_uid, x, y, t_query
-                ):
-                    result.users.append(obj)
-    return result
+    engine = QueryEngine(tree)
+    return prq_from_plan(engine, engine.planner.plan_range(q_uid, window, t_query))

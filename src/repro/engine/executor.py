@@ -1,0 +1,296 @@
+"""Plan execution and cross-query batching (engine layer 3).
+
+:class:`QueryEngine` is the single implementation of the Section 5.3
+pipeline.  Every privacy-aware query path in the repository — PRQ
+(:mod:`repro.core.prq`), the aggregates (:mod:`repro.core.aggregate`),
+the Figure 7 span-scan ablation (:mod:`repro.core.ablation`), the
+continuous-query registration scan (:mod:`repro.core.continuous`), and
+the adaptive PkNN matrix search (:mod:`repro.core.pknn`) — is a thin
+adapter over this engine: the planner decides *what* to scan, the
+scanner decides *how* (memoized, prefetched, or physical), the verifier
+decides *who qualifies*, and this module drives the three in the
+paper's iteration order with the skip rule applied in one place.
+
+Batching (:meth:`QueryEngine.execute_batch`) is the throughput path the
+ROADMAP's north star asks for: many concurrent query specs are planned
+up front, their band requests are merged across issuers, each merged
+band is physically scanned once (:meth:`BandScanner.prefetch`), and
+every query is then replayed against the in-memory band store with
+*zero additional index I/O*.  Per-query results are bit-identical to
+running the queries one at a time — the replay applies the identical
+iteration order and skip rules — while the physical reads per query
+drop by the cross-query overlap, reported as
+:attr:`ExecutionStats.dedup_ratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.engine.plan import QueryPlan, QueryPlanner
+from repro.engine.scanner import BandScanner
+from repro.engine.verify import CandidateVerifier
+from repro.spatial.geometry import Rect
+from repro.workloads.queries import KnnQuerySpec, RangeQuerySpec
+
+if TYPE_CHECKING:
+    from repro.core.peb_tree import PEBTree
+    from repro.motion.objects import MovingObject
+
+#: Callback invoked per qualifying user with its located position;
+#: returning True stops the scan early (the existential aggregate).
+OnMatch = Callable[["MovingObject", float, float], bool]
+
+
+@dataclass
+class ExecutionStats:
+    """Scan-level accounting of one execution (query or whole batch).
+
+    Attributes:
+        bands_requested: band requests actually issued to the scanner —
+            after the skip rule dropped the bands of already-located
+            friends — whether static (range plans) or adaptive (PkNN
+            rounds), so the dedup ratio compares like with like.
+        bands_scanned: physical scans that reached the tree, including
+            batch prefetch merges.
+        bands_deduped: requests served from the scanner's memo or the
+            prefetched band store instead of the tree.
+        candidates_examined: entries located and verified.
+        physical_reads: page-level reads the buffer pool could not
+            serve, measured across the execution.
+    """
+
+    bands_requested: int = 0
+    bands_scanned: int = 0
+    bands_deduped: int = 0
+    candidates_examined: int = 0
+    physical_reads: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of band requests that did not cost a physical scan.
+
+        ``1 - bands_scanned / bands_requested``: 0 when every request
+        needed its own scan, approaching 1 when a few physical scans
+        (batch prefetch merges included) served many requests.  For a
+        single query on a fresh scanner this equals
+        ``bands_deduped / bands_requested``.
+        """
+        if self.bands_requested == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.bands_scanned / self.bands_requested)
+
+
+@dataclass
+class RangeExecution:
+    """Outcome of one range-shaped plan execution."""
+
+    candidates_examined: int
+    stopped_early: bool
+    stats: ExecutionStats
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch execution.
+
+    Attributes:
+        results: per-spec results, in spec order — ``PRQResult`` for
+            range specs, ``PKNNResult`` for kNN specs, directly
+            comparable to the output of :func:`repro.core.prq.prq` and
+            :func:`repro.core.pknn.pknn` on the same spec.
+        stats: batch-level scan accounting (the dedup headline).
+    """
+
+    results: list = field(default_factory=list)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+class QueryEngine:
+    """The unified privacy-aware query engine over one PEB-tree."""
+
+    def __init__(self, tree: "PEBTree"):
+        self.tree = tree
+        self.planner = QueryPlanner(tree)
+
+    # ------------------------------------------------------------------
+    # Single-query execution
+    # ------------------------------------------------------------------
+
+    def execute_range(
+        self,
+        q_uid: int,
+        window: Rect,
+        t_query: float,
+        on_match: OnMatch | None = None,
+        scanner: BandScanner | None = None,
+    ) -> RangeExecution:
+        """Run the Section 5.3 pipeline for one range-shaped query."""
+        plan = self.planner.plan_range(q_uid, window, t_query)
+        return self.run_range_plan(plan, on_match, scanner)
+
+    def execute_span_scan(
+        self,
+        q_uid: int,
+        window: Rect,
+        t_query: float,
+        on_match: OnMatch | None = None,
+        scanner: BandScanner | None = None,
+    ) -> RangeExecution:
+        """Run the literal Figure 7 span-scan procedure (ablation)."""
+        plan = self.planner.plan_span_scan(q_uid, window, t_query)
+        return self.run_range_plan(plan, on_match, scanner)
+
+    def run_range_plan(
+        self,
+        plan: QueryPlan,
+        on_match: OnMatch | None = None,
+        scanner: BandScanner | None = None,
+    ) -> RangeExecution:
+        """Execute a planned scan schedule with the skip rule applied.
+
+        Bands are visited in plan order; a band whose friend is already
+        located is skipped ("a user has only one location").  Each newly
+        located candidate is policy-checked and window-tested, and
+        ``on_match`` may stop the whole execution early by returning
+        True (the ``at_least`` aggregate).
+        """
+        scanner = scanner if scanner is not None else BandScanner(self.tree)
+        verifier = CandidateVerifier(self.tree.store, plan.q_uid, plan.t_query)
+        reads_before = self.tree.stats.physical_reads
+        requests_before = scanner.requests
+        scans_before = scanner.physical_scans
+        deduped_before = scanner.deduped
+        stopped = False
+        for planned in plan.bands:
+            if planned.friend_uid is not None and verifier.seen(planned.friend_uid):
+                continue
+            for _, obj in scanner.scan(planned.band):
+                hit = verifier.admit(obj, within=plan.window)
+                if hit is None:
+                    continue
+                x, y, qualifies = hit
+                if not qualifies:
+                    continue
+                if on_match is not None and on_match(obj, x, y):
+                    stopped = True
+                    break
+            if stopped:
+                break
+        stats = ExecutionStats(
+            bands_requested=scanner.requests - requests_before,
+            bands_scanned=scanner.physical_scans - scans_before,
+            bands_deduped=scanner.deduped - deduped_before,
+            candidates_examined=verifier.candidates_examined,
+            physical_reads=self.tree.stats.physical_reads - reads_before,
+        )
+        return RangeExecution(
+            candidates_examined=verifier.candidates_examined,
+            stopped_early=stopped,
+            stats=stats,
+        )
+
+    def collect_friend_states(
+        self, q_uid: int, scanner: BandScanner | None = None
+    ) -> "dict[int, MovingObject]":
+        """Fetch every friend's current motion function via its SV band.
+
+        The continuous-query registration scan: I/O bounded by the
+        friend count, not the population (the Figure 15(a) property).
+        Only users actually holding a policy about the issuer are
+        returned — entries merely sharing a quantized SV are dropped.
+        """
+        scanner = scanner if scanner is not None else BandScanner(self.tree)
+        plan = self.planner.plan_seed(q_uid)
+        store = self.tree.store
+        tracked: dict[int, "MovingObject"] = {}
+        for planned in plan.bands:
+            if planned.friend_uid in tracked:
+                continue
+            for _, obj in scanner.scan(planned.band):
+                if obj.uid not in tracked and store.policies_for(obj.uid, q_uid):
+                    tracked[obj.uid] = obj
+        return tracked
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def execute_batch(
+        self, specs: Sequence, prefetch: bool = True
+    ) -> BatchReport:
+        """Execute many concurrent query specs with shared band scans.
+
+        Args:
+            specs: ``RangeQuerySpec`` / ``KnnQuerySpec`` instances (the
+                :mod:`repro.workloads.queries` types), in any mix.
+            prefetch: merge and pre-scan the range plans' bands (the
+                cross-query dedup); disable to measure the memo tier
+                alone.
+
+        Range plans are static, so their bands are known up front and
+        prefetched; the skip rule can only *remove* bands, so the
+        prefetched superset is always sufficient.  kNN searches are
+        adaptive and run against the same shared scanner, picking up
+        whatever bands the store and memo already hold.
+        """
+        # Imported here: repro.core.{prq,pknn} are adapters over this
+        # module, so importing them at module scope would cycle.
+        from repro.core.pknn import _MatrixSearch
+        from repro.core.prq import prq_from_plan
+
+        plans: list[QueryPlan | None] = []
+        for spec in specs:
+            if isinstance(spec, RangeQuerySpec):
+                plans.append(self.planner.plan_range(spec.q_uid, spec.window, spec.t_query))
+            elif isinstance(spec, KnnQuerySpec):
+                plans.append(None)
+            else:
+                raise TypeError(
+                    f"unsupported query spec {spec!r}; expected "
+                    "RangeQuerySpec or KnnQuerySpec"
+                )
+
+        scanner = BandScanner(self.tree)
+        reads_before = self.tree.stats.physical_reads
+        if prefetch:
+            scanner.prefetch(
+                planned.band
+                for plan in plans
+                if plan is not None
+                for planned in plan.bands
+            )
+
+        report = BatchReport()
+        for spec, plan in zip(specs, plans):
+            if plan is not None:
+                result = prq_from_plan(self, plan, scanner)
+            else:
+                result = _MatrixSearch(
+                    self.tree,
+                    spec.q_uid,
+                    spec.qx,
+                    spec.qy,
+                    spec.k,
+                    spec.t_query,
+                    planner=self.planner,
+                    scanner=scanner,
+                ).run()
+            report.stats.candidates_examined += result.candidates_examined
+            report.results.append(result)
+
+        report.stats.bands_requested = scanner.requests
+        report.stats.bands_scanned = scanner.physical_scans
+        report.stats.bands_deduped = scanner.deduped
+        report.stats.physical_reads = self.tree.stats.physical_reads - reads_before
+        return report
+
+
+__all__ = [
+    "BatchReport",
+    "ExecutionStats",
+    "OnMatch",
+    "QueryEngine",
+    "RangeExecution",
+]

@@ -1,0 +1,246 @@
+"""Query planning: band requests and query plans (engine layer 1).
+
+The planner turns a query specification — issuer, window, query time —
+into a :class:`QueryPlan`: the ordered list of *band requests* the
+Section 5.3 pipeline scans.  A band request is one key-contiguous
+stretch of the PEB-tree,
+
+    ``[TID ⊕ SV_lo ⊕ ZV_lo ; TID ⊕ SV_hi ⊕ ZV_hi]``,
+
+with ``SV_lo == SV_hi`` for the per-friend bands of the default
+algorithm and ``SV_lo < SV_hi`` for the coarse whole-friend-list span of
+the Figure 7 ablation.
+
+A plan captures everything *static* about a query: the live partition
+contexts (per-partition window enlargements of Figure 2), the issuer's
+friend list sorted ascending by sequence value, and one band per
+(partition, friend).  The paper's skip rule — "once a candidate user is
+found, the remaining search intervals formed by this user's SV value
+are skipped ... a user has only one location" — depends on scan
+results, so it cannot be resolved at plan time; each planned band
+instead records the friend it serves and the executor
+(:mod:`repro.engine.executor`) applies the rule in exactly one place.
+
+Keeping plans declarative is what enables cross-query batching: the
+batch executor can collect the bands of many concurrent plans, merge
+the overlapping ones, and serve every issuer from one physical scan
+(:meth:`repro.engine.scanner.BandScanner.prefetch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.bxtree.queries import enlargement_for_label
+from repro.spatial.geometry import Rect
+
+if TYPE_CHECKING:
+    from repro.core.peb_tree import PEBTree
+
+
+@dataclass(frozen=True)
+class BandRequest:
+    """One key-contiguous scan request against the PEB-tree.
+
+    Attributes:
+        tid: time-partition id the band lives in.
+        sv_lo_q, sv_hi_q: inclusive *quantized* sequence-value bounds
+            (equal for the per-friend bands of Section 5.3).
+        z_lo, z_hi: inclusive curve-value bounds.
+    """
+
+    tid: int
+    sv_lo_q: int
+    sv_hi_q: int
+    z_lo: int
+    z_hi: int
+
+    @property
+    def is_single_sv(self) -> bool:
+        """True for the per-friend bands the batch store can subdivide."""
+        return self.sv_lo_q == self.sv_hi_q
+
+    @property
+    def key(self) -> tuple[int, int, int, int, int]:
+        """Hashable identity used for scan memoization."""
+        return (self.tid, self.sv_lo_q, self.sv_hi_q, self.z_lo, self.z_hi)
+
+
+@dataclass(frozen=True)
+class PartitionContext:
+    """One live time partition and its per-side window enlargements."""
+
+    tid: int
+    label: float
+    dx: float
+    dy: float
+
+    def enlarged(self, rect: Rect) -> Rect:
+        """The rectangle grown by this partition's enlargement (Figure 2)."""
+        return rect.expanded(self.dx, self.dy)
+
+
+@dataclass(frozen=True)
+class PlannedBand:
+    """A band request annotated with the friend it serves.
+
+    ``friend_uid`` is None for bands not tied to a single friend (the
+    span-scan ablation); the executor's skip rule only applies when a
+    friend is recorded.
+    """
+
+    friend_uid: int | None
+    band: BandRequest
+
+
+@dataclass
+class QueryPlan:
+    """The static scan schedule of one range-shaped query.
+
+    Bands are ordered partition-major, then friend-ascending-by-SV —
+    the exact iteration order of the paper's Figure 7 procedure, which
+    the executor replays with the skip rule applied.
+    """
+
+    q_uid: int
+    t_query: float
+    friends: list[tuple[float, int]]
+    contexts: list[PartitionContext]
+    bands: list[PlannedBand]
+    window: Rect | None = None
+
+
+class QueryPlanner:
+    """Turns query specs into :class:`QueryPlan` objects for one tree."""
+
+    def __init__(self, tree: "PEBTree"):
+        self.tree = tree
+
+    # ------------------------------------------------------------------
+    # Shared building blocks (also used by the adaptive PkNN search)
+    # ------------------------------------------------------------------
+
+    def friends(self, q_uid: int) -> list[tuple[float, int]]:
+        """The issuer's friend list: ``(sv, uid)`` ascending by SV."""
+        return self.tree.store.friend_list(q_uid)
+
+    def contexts(self, t_query: float) -> list[PartitionContext]:
+        """Live partition contexts with their Figure 2 enlargements."""
+        tree = self.tree
+        out = []
+        for label in tree.partitioner.live_labels(t_query):
+            out.append(
+                PartitionContext(
+                    tid=tree.partitioner.partition_of_label(label),
+                    label=label,
+                    dx=enlargement_for_label(label, t_query, tree.max_speed_x),
+                    dy=enlargement_for_label(label, t_query, tree.max_speed_y),
+                )
+            )
+        return out
+
+    def band(self, tid: int, sv: float, z_lo: int, z_hi: int) -> BandRequest:
+        """The per-friend band ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``."""
+        sv_q = self.tree.codec.quantize_sv(sv)
+        return BandRequest(tid=tid, sv_lo_q=sv_q, sv_hi_q=sv_q, z_lo=z_lo, z_hi=z_hi)
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+
+    def plan_range(self, q_uid: int, window: Rect, t_query: float) -> QueryPlan:
+        """Plan a PRQ-shaped scan (also serves the aggregates).
+
+        Per live partition the window is enlarged and reduced to its
+        single covering Z-span (see :mod:`repro.core.prq` for why one
+        span per (partition, SV) matches the per-interval I/O); one band
+        is planned per (partition, friend).
+        """
+        friends = self.friends(q_uid)
+        contexts = self.contexts(t_query)
+        bands: list[PlannedBand] = []
+        if friends:
+            for context in contexts:
+                span = self.tree.grid.z_span(context.enlarged(window))
+                if span is None:
+                    continue
+                z_lo, z_hi = span
+                for sv, friend_uid in friends:
+                    bands.append(
+                        PlannedBand(friend_uid, self.band(context.tid, sv, z_lo, z_hi))
+                    )
+        return QueryPlan(
+            q_uid=q_uid,
+            t_query=t_query,
+            friends=friends,
+            contexts=contexts,
+            bands=bands,
+            window=window,
+        )
+
+    def plan_span_scan(self, q_uid: int, window: Rect, t_query: float) -> QueryPlan:
+        """Plan the literal Figure 7 procedure (the ablation variant).
+
+        Per (partition, Z-interval) one coarse band spans the issuer's
+        whole ``[SV_min ; SV_max]`` friend range; the Z-intervals come
+        from the coarsened exact decomposition rather than one covering
+        span, as in the seed ablation.
+        """
+        friends = self.friends(q_uid)
+        contexts = self.contexts(t_query)
+        bands: list[PlannedBand] = []
+        if friends:
+            codec = self.tree.codec
+            sv_lo_q = codec.quantize_sv(friends[0][0])
+            sv_hi_q = codec.quantize_sv(friends[-1][0])
+            for context in contexts:
+                for z_lo, z_hi in self.tree.grid.decompose(
+                    context.enlarged(window), coarsen=True
+                ):
+                    bands.append(
+                        PlannedBand(
+                            None,
+                            BandRequest(context.tid, sv_lo_q, sv_hi_q, z_lo, z_hi),
+                        )
+                    )
+        return QueryPlan(
+            q_uid=q_uid,
+            t_query=t_query,
+            friends=friends,
+            contexts=contexts,
+            bands=bands,
+            window=window,
+        )
+
+    def plan_seed(self, q_uid: int) -> QueryPlan:
+        """Plan a whole-space sweep of every friend's SV band.
+
+        The continuous-query registration scan: one full-Z-range band
+        per (partition, friend), over *all* partitions — registration
+        has no query time, so every partition may hold a friend's entry.
+        """
+        friends = self.friends(q_uid)
+        max_z = self.tree.grid.max_z
+        bands = [
+            PlannedBand(friend_uid, self.band(tid, sv, 0, max_z))
+            for tid in range(self.tree.partitioner.num_partitions)
+            for sv, friend_uid in friends
+        ]
+        return QueryPlan(
+            q_uid=q_uid,
+            t_query=0.0,
+            friends=friends,
+            contexts=[],
+            bands=bands,
+            window=None,
+        )
+
+
+__all__ = [
+    "BandRequest",
+    "PartitionContext",
+    "PlannedBand",
+    "QueryPlan",
+    "QueryPlanner",
+]

@@ -1,0 +1,153 @@
+"""Band scanning with cross-request deduplication (engine layer 2).
+
+The scanner is the only component that touches the index during query
+execution.  It serves :class:`repro.engine.plan.BandRequest` objects
+from three tiers, cheapest first:
+
+1. **Memo** — an exact-identity cache: a band already scanned in this
+   scanner's lifetime (one query, or one whole batch) is replayed from
+   memory.  Two friends sharing a quantized SV, or two queries asking
+   for the identical band, cost one physical scan.
+2. **Prefetch store** — :meth:`BandScanner.prefetch` takes the union of
+   many plans' band requests, groups the single-SV ones by
+   ``(tid, sv_q)``, merges their overlapping Z-intervals, and scans
+   each merged interval *once*.  Later requests contained in the
+   prefetched coverage are answered by bisecting the in-memory entries
+   — this is the cross-query sharing that makes batch execution cheap.
+3. **Physical scan** — anything else goes to the tree.
+
+The scanner assumes the tree is not mutated while it is alive (queries
+and updates are phase-separated in all the harnesses).  The prefetch
+store's Z-subdivision additionally requires the SV-major key layout of
+Equation 5 (all entries of one quantized SV key-contiguous, ordered by
+ZV); :meth:`BandScanner.prefetch` checks the codec's ``sv_major``
+marker and becomes a no-op on the ZV-first ablation layout, whose
+scans fall through to the memo/physical tiers — those are
+layout-agnostic, so batch results stay identical to sequential on any
+codec.
+
+Entries are returned as ``(zv, object)`` pairs in key order, exactly the
+order a direct ``scan_sv_zrange`` would yield, so replaying a plan
+against the scanner is observationally identical to scanning the tree.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Iterable
+
+from repro.engine.plan import BandRequest
+from repro.spatial.decompose import ZInterval, merge_intervals
+
+if TYPE_CHECKING:
+    from repro.core.peb_tree import PEBTree
+
+
+class BandScanner:
+    """Executes band requests with memoization and batch prefetching.
+
+    One scanner instance defines one deduplication scope: the single
+    query adapters create a fresh scanner per query, the batch executor
+    shares one scanner across every query of the batch.
+
+    Attributes:
+        requests: band requests received via :meth:`scan`.
+        physical_scans: scans that reached the tree (including prefetch
+            merges).
+        memo_hits: requests served from the exact-identity cache.
+        store_hits: requests served from the prefetched band store.
+    """
+
+    def __init__(self, tree: "PEBTree"):
+        self.tree = tree
+        self.requests = 0
+        self.physical_scans = 0
+        self.memo_hits = 0
+        self.store_hits = 0
+        self._memo: dict[tuple, list] = {}
+        # (tid, sv_q) -> (coverage intervals, sorted zvs, entries); the
+        # zvs list mirrors entries for bisection.
+        self._store: dict[tuple[int, int], tuple[list[ZInterval], list[int], list]] = {}
+
+    @property
+    def deduped(self) -> int:
+        """Requests served without a physical scan."""
+        return self.memo_hits + self.store_hits
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def scan(self, band: BandRequest) -> list:
+        """All entries of one band, as ``(zv, object)`` pairs in key order."""
+        self.requests += 1
+        cached = self._memo.get(band.key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        if band.is_single_sv:
+            served = self._from_store(band)
+            if served is not None:
+                self.store_hits += 1
+                self._memo[band.key] = served
+                return served
+        rows = self._physical_scan(band)
+        self._memo[band.key] = rows
+        return rows
+
+    def prefetch(self, bands: Iterable[BandRequest]) -> None:
+        """Scan the merged union of many plans' bands once, up front.
+
+        Single-SV bands are grouped by ``(tid, sv_q)`` and their
+        Z-intervals merged, so overlapping requests from different
+        issuers share one physical scan.  Multi-SV bands are left to the
+        memo/physical tiers, and non-SV-major key layouts skip
+        prefetching entirely (subdividing their scans by ZV would
+        return entries a direct scan excludes).
+        """
+        if not getattr(self.tree.codec, "sv_major", False):
+            return
+        grouped: dict[tuple[int, int], list[ZInterval]] = {}
+        for band in bands:
+            if band.is_single_sv:
+                grouped.setdefault((band.tid, band.sv_lo_q), []).append(
+                    (band.z_lo, band.z_hi)
+                )
+        for (tid, sv_q), intervals in grouped.items():
+            coverage = merge_intervals(sorted(intervals))
+            entries: list = []
+            for z_lo, z_hi in coverage:
+                entries.extend(
+                    self._physical_scan(BandRequest(tid, sv_q, sv_q, z_lo, z_hi))
+                )
+            # Physical scan order is key order, so `entries` is already
+            # sorted by (zv, uid) and bisectable by zv.
+            self._store[(tid, sv_q)] = (coverage, [zv for zv, _ in entries], entries)
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+
+    def _from_store(self, band: BandRequest) -> list | None:
+        """Serve a band from the prefetched store, or None if uncovered."""
+        stored = self._store.get((band.tid, band.sv_lo_q))
+        if stored is None:
+            return None
+        coverage, zvs, entries = stored
+        for z_lo, z_hi in coverage:
+            if z_lo <= band.z_lo and band.z_hi <= z_hi:
+                lo = bisect_left(zvs, band.z_lo)
+                hi = bisect_right(zvs, band.z_hi)
+                return entries[lo:hi]
+        return None
+
+    def _physical_scan(self, band: BandRequest) -> list:
+        self.physical_scans += 1
+        return list(
+            self.tree.scan_band(
+                band.tid, band.sv_lo_q, band.sv_hi_q, band.z_lo, band.z_hi
+            )
+        )
+
+
+__all__ = ["BandScanner"]

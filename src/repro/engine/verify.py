@@ -1,0 +1,72 @@
+"""Candidate verification: locate, evaluate, deduplicate (engine layer 4).
+
+Every query type ends the same way: a scanned entry is *located* by
+evaluating its linear motion function at query time, its owner's policy
+toward the issuer is evaluated at that located position (Definition 2),
+and — per the paper's skip rule — each user is examined at most once,
+"a user has only one location".  The verifier centralizes those three
+steps so the adapters in :mod:`repro.core` cannot drift apart, and so
+``candidates_examined`` (the intermediate-result size the PEB-tree is
+designed to keep small, Figure 15(a)) is counted identically everywhere.
+
+Range queries pass their window via ``within`` so containment is tested
+*before* the policy evaluation — candidates the Figure 2 enlargement
+dragged in from outside the real window are rejected without paying a
+policy lookup.  The PkNN search has no window (it ranks by distance)
+and omits ``within``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.motion.objects import MovingObject
+    from repro.policy.store import PolicyStore
+    from repro.spatial.geometry import Rect
+
+
+class CandidateVerifier:
+    """Per-query verification state: the ``located`` set and counters.
+
+    Attributes:
+        located: uids whose entry has been seen — never examined again,
+            in later bands, partitions, or enlargement rounds.
+        candidates_examined: entries located and policy-checked.
+    """
+
+    def __init__(self, store: "PolicyStore", q_uid: int, t_query: float):
+        self.store = store
+        self.q_uid = q_uid
+        self.t_query = t_query
+        self.located: set[int] = set()
+        self.candidates_examined = 0
+
+    def seen(self, uid: int) -> bool:
+        """True when the user was already located (skip-rule predicate)."""
+        return uid in self.located
+
+    def admit(
+        self, obj: "MovingObject", within: "Rect | None" = None
+    ) -> tuple[float, float, bool] | None:
+        """Locate and verify one scanned entry.
+
+        Returns None when the user was already located (the entry is
+        skipped without counting); otherwise marks the user located,
+        counts the candidate, and returns ``(x, y, qualifies)`` where
+        ``(x, y)`` is the position at query time and ``qualifies`` is
+        containment in ``within`` (when given) plus the Definition 2
+        policy condition for the issuer — in that order, so an
+        out-of-window candidate never costs a policy evaluation.
+        """
+        if obj.uid in self.located:
+            return None
+        self.located.add(obj.uid)
+        self.candidates_examined += 1
+        x, y = obj.position_at(self.t_query)
+        if within is not None and not within.contains(x, y):
+            return x, y, False
+        return x, y, self.store.evaluate(obj.uid, self.q_uid, x, y, self.t_query)
+
+
+__all__ = ["CandidateVerifier"]

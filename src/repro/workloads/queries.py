@@ -79,3 +79,33 @@ class QueryGenerator:
             x, y = states[uid].position_at(t_query)
             queries.append(KnnQuerySpec(q_uid=uid, qx=x, qy=y, k=k, t_query=t_query))
         return queries
+
+    def mixed_queries(
+        self,
+        states: dict[int, MovingObject],
+        count: int,
+        window_side: float,
+        k: int,
+        t_query: float,
+        range_fraction: float = 0.5,
+    ) -> list[RangeQuerySpec | KnnQuerySpec]:
+        """A shuffled mix of PRQs and PkNNs, as a server queue would see.
+
+        The natural input for the batch executor
+        (:meth:`repro.engine.QueryEngine.execute_batch`): roughly
+        ``range_fraction`` of the ``count`` specs are range queries,
+        the rest kNN, interleaved deterministically by this generator's
+        RNG.
+        """
+        if not 0.0 <= range_fraction <= 1.0:
+            raise ValueError(
+                f"range_fraction must be in [0, 1], got {range_fraction}"
+            )
+        n_range = round(count * range_fraction)
+        specs: list[RangeQuerySpec | KnnQuerySpec] = []
+        specs.extend(
+            self.range_queries(sorted(states), n_range, window_side, t_query)
+        )
+        specs.extend(self.knn_queries(states, count - n_range, k, t_query))
+        self.rng.shuffle(specs)
+        return specs

@@ -165,3 +165,19 @@ def test_cost_model_custom_inputs(capsys):
     assert code == 0
     # theta = 1: Np - Np**theta = 0, so the estimate is the floor of 1.
     assert "1.00" in out
+
+
+def test_batch_query_runs_and_verifies(capsys):
+    code = main(
+        [
+            "batch-query",
+            "--users", "400",
+            "--policies", "8",
+            "--queries", "12",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "band-scan batching" in out
+    assert "dedup ratio" in out
+    assert "verified identical to sequential" in out

@@ -1,0 +1,326 @@
+"""Tests for the unified query engine: planner, scanner, batch executor."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.bench.oracle import brute_force_pknn, brute_force_prq
+from repro.core.pknn import pknn
+from repro.core.prq import prq
+from repro.engine import BandScanner, QueryEngine
+from repro.spatial.geometry import Rect
+from repro.workloads.queries import KnnQuerySpec, RangeQuerySpec
+
+from tests.conftest import build_world
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+
+
+def test_plan_range_orders_bands_partition_major(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[5]
+    window = Rect(100, 400, 100, 400)
+    plan = engine.planner.plan_range(issuer, window, 5.0)
+
+    friends = world.store.friend_list(issuer)
+    assert plan.friends == friends
+    assert len(plan.contexts) == len(world.partitioner.live_labels(5.0))
+    # One band per (live partition with a span, friend), partition-major,
+    # friends ascending by SV inside each partition.
+    assert len(plan.bands) % len(friends) == 0
+    per_partition = [
+        plan.bands[i : i + len(friends)]
+        for i in range(0, len(plan.bands), len(friends))
+    ]
+    for chunk in per_partition:
+        assert [planned.friend_uid for planned in chunk] == [
+            uid for _, uid in friends
+        ]
+        assert len({planned.band.tid for planned in chunk}) == 1
+        svs = [planned.band.sv_lo_q for planned in chunk]
+        assert svs == sorted(svs)
+
+
+def test_plan_range_without_friends_is_empty(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    stranger = max(world.uids) + 1000
+    plan = engine.planner.plan_range(stranger, Rect(0, 1000, 0, 1000), 5.0)
+    assert plan.bands == []
+    assert plan.friends == []
+
+
+def test_plan_seed_covers_all_partitions(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[0]
+    plan = engine.planner.plan_seed(issuer)
+    friends = world.store.friend_list(issuer)
+    assert len(plan.bands) == world.partitioner.num_partitions * len(friends)
+    for planned in plan.bands:
+        assert planned.band.z_lo == 0
+        assert planned.band.z_hi == world.grid.max_z
+
+
+# ----------------------------------------------------------------------
+# Band scanner
+# ----------------------------------------------------------------------
+
+
+def test_scanner_memoizes_identical_bands(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[2]
+    sv, _ = world.store.friend_list(issuer)[0]
+    band = engine.planner.band(0, sv, 0, world.grid.max_z)
+
+    scanner = BandScanner(world.peb)
+    first = scanner.scan(band)
+    second = scanner.scan(band)
+    assert first == second
+    assert scanner.physical_scans == 1
+    assert scanner.memo_hits == 1
+    assert scanner.requests == 2
+
+
+def test_scanner_entries_match_direct_tree_scan(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[7]
+    scanner = BandScanner(world.peb)
+    for sv, _ in world.store.friend_list(issuer)[:5]:
+        band = engine.planner.band(1, sv, 0, world.grid.max_z)
+        scanned = [obj.uid for _, obj in scanner.scan(band)]
+        direct = [
+            obj.uid
+            for obj in world.peb.scan_sv_zrange(1, sv, 0, world.grid.max_z)
+        ]
+        assert scanned == direct
+
+
+def test_prefetch_serves_contained_requests_without_new_scans(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[4]
+    window_a = Rect(100, 400, 100, 400)
+    window_b = Rect(200, 500, 200, 500)  # overlaps window_a
+    plan_a = engine.planner.plan_range(issuer, window_a, 5.0)
+    plan_b = engine.planner.plan_range(issuer, window_b, 5.0)
+
+    scanner = BandScanner(world.peb)
+    scanner.prefetch(
+        planned.band for plan in (plan_a, plan_b) for planned in plan.bands
+    )
+    after_prefetch = scanner.physical_scans
+    assert after_prefetch > 0
+    for plan in (plan_a, plan_b):
+        for planned in plan.bands:
+            scanner.scan(planned.band)
+    assert scanner.physical_scans == after_prefetch
+    assert scanner.store_hits > 0
+
+
+def test_prefetch_store_returns_exact_band_contents(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[9]
+    window = Rect(50, 650, 50, 650)
+    plan = engine.planner.plan_range(issuer, window, 5.0)
+
+    prefetched = BandScanner(world.peb)
+    prefetched.prefetch(planned.band for planned in plan.bands)
+    fresh = BandScanner(world.peb)
+    for planned in plan.bands:
+        served = prefetched.scan(planned.band)
+        scanned = fresh.scan(planned.band)
+        assert [(zv, obj.uid) for zv, obj in served] == [
+            (zv, obj.uid) for zv, obj in scanned
+        ]
+
+
+# ----------------------------------------------------------------------
+# Single-query execution
+# ----------------------------------------------------------------------
+
+
+def test_execute_range_matches_brute_force(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    for query in world.query_generator().range_queries(world.uids, 15, 300.0, 5.0):
+        found = []
+        engine.execute_range(
+            query.q_uid,
+            query.window,
+            query.t_query,
+            lambda obj, x, y: found.append(obj.uid) or False,
+        )
+        expected = brute_force_prq(
+            world.states, world.store, query.q_uid, query.window, query.t_query
+        )
+        assert set(found) == expected
+
+
+def test_execute_range_stops_early_on_match_request(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    window = Rect(0, 1000, 0, 1000)
+    issuer = next(
+        uid
+        for uid in world.uids
+        if brute_force_prq(world.states, world.store, uid, window, 5.0)
+    )
+    execution = engine.execute_range(issuer, window, 5.0, lambda o, x, y: True)
+    assert execution.stopped_early
+    full = engine.execute_range(issuer, window, 5.0)
+    assert not full.stopped_early
+    assert execution.candidates_examined <= full.candidates_examined
+
+
+def test_execution_stats_account_bands(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    issuer = world.uids[11]
+    execution = engine.execute_range(issuer, Rect(0, 1000, 0, 1000), 5.0)
+    stats = execution.stats
+    # Requests are the planned bands minus those the skip rule dropped.
+    assert 0 < stats.bands_requested <= len(
+        engine.planner.plan_range(issuer, Rect(0, 1000, 0, 1000), 5.0).bands
+    )
+    # With a fresh scanner every request is either physical or deduped.
+    assert stats.bands_scanned + stats.bands_deduped == stats.bands_requested
+    assert stats.candidates_examined == execution.candidates_examined
+    assert 0.0 <= stats.dedup_ratio <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+
+
+def test_batch_results_identical_to_individual_runs(small_world):
+    world = small_world
+    specs = world.query_generator().range_queries(world.uids, 24, 250.0, 5.0)
+    engine = QueryEngine(world.peb)
+    report = engine.execute_batch(specs)
+    assert len(report.results) == len(specs)
+    for spec, batched in zip(specs, report.results):
+        single = prq(world.peb, spec.q_uid, spec.window, spec.t_query)
+        assert batched.uids == single.uids
+        assert batched.candidates_examined == single.candidates_examined
+
+
+def test_batch_mixed_specs_match_individual_runs(small_world):
+    world = small_world
+    generator = world.query_generator()
+    specs = generator.mixed_queries(world.states, 16, 300.0, 3, 5.0)
+    assert any(isinstance(spec, RangeQuerySpec) for spec in specs)
+    assert any(isinstance(spec, KnnQuerySpec) for spec in specs)
+
+    report = QueryEngine(world.peb).execute_batch(specs)
+    for spec, batched in zip(specs, report.results):
+        if isinstance(spec, RangeQuerySpec):
+            single = prq(world.peb, spec.q_uid, spec.window, spec.t_query)
+            assert batched.uids == single.uids
+        else:
+            single = pknn(
+                world.peb, spec.q_uid, spec.qx, spec.qy, spec.k, spec.t_query
+            )
+            assert [round(d, 9) for d, _ in batched.neighbors] == [
+                round(d, 9) for d, _ in single.neighbors
+            ]
+
+
+def test_batch_knn_matches_brute_force(small_world):
+    world = small_world
+    specs = world.query_generator().knn_queries(world.states, 8, 4, 5.0)
+    report = QueryEngine(world.peb).execute_batch(specs)
+    for spec, batched in zip(specs, report.results):
+        expected = brute_force_pknn(
+            world.states, world.store, spec.q_uid, spec.qx, spec.qy, spec.k,
+            spec.t_query,
+        )
+        assert [round(d, 9) for d, _ in batched.neighbors] == [
+            round(d, 9) for d, _ in expected
+        ]
+
+
+def test_batch_rejects_unknown_spec_types(small_world):
+    engine = QueryEngine(small_world.peb)
+    with pytest.raises(TypeError):
+        engine.execute_batch(["not a query spec"])
+
+
+def test_batch_without_prefetch_still_deduplicates(small_world):
+    world = small_world
+    spec = world.query_generator().range_queries(world.uids, 1, 300.0, 5.0)[0]
+    engine = QueryEngine(world.peb)
+    report = engine.execute_batch([spec, spec, spec], prefetch=False)
+    assert report.stats.bands_deduped > 0
+    uids = {frozenset(result.uids) for result in report.results}
+    assert len(uids) == 1
+
+
+def test_batch_on_zv_first_tree_matches_individual_runs():
+    """Prefetch must no-op on non-SV-major layouts: subdividing a
+    ZV-first scan by ZV would return entries a direct scan excludes.
+    Batch results (and candidate counts) must match sequential runs on
+    the ablation codec too."""
+    from repro.core.ablation import make_zv_first_tree
+    from repro.storage.buffer import BufferPool
+    from repro.storage.disk import SimulatedDisk
+
+    world = build_world(n_users=200, n_policies=8, seed=47)
+    pool = BufferPool(SimulatedDisk(page_size=1024), capacity=512)
+    swapped = make_zv_first_tree(pool, world.grid, world.partitioner, world.store)
+    for obj in world.states.values():
+        swapped.insert(obj)
+
+    specs = world.query_generator().range_queries(world.uids, 12, 300.0, 5.0)
+    report = QueryEngine(swapped).execute_batch(specs)
+    for spec, batched in zip(specs, report.results):
+        single = prq(swapped, spec.q_uid, spec.window, spec.t_query)
+        assert batched.uids == single.uids
+        assert batched.candidates_examined == single.candidates_examined
+
+
+def test_batch_of_32_reduces_physical_reads_per_query():
+    """The acceptance headline: >= 32 concurrent PRQs batched perform
+    measurably fewer physical reads per query than one-at-a-time, with
+    identical result sets (checked inside run_batched_prq)."""
+    harness = ExperimentHarness(
+        ExperimentConfig(
+            n_users=1500,
+            n_policies=12,
+            n_queries=32,
+            page_size=1024,
+            window_side=250.0,
+            seed=13,
+        )
+    )
+    costs = harness.run_batched_prq()
+    assert costs.n_queries == 32
+    assert costs.batched_io < costs.sequential_io
+    # A real fraction of band requests were served from shared scans.
+    assert costs.dedup_ratio > 0.1
+
+
+# ----------------------------------------------------------------------
+# Seeding (continuous registration) through the engine
+# ----------------------------------------------------------------------
+
+
+def test_collect_friend_states_tracks_exactly_the_indexed_friends(small_world):
+    world = small_world
+    engine = QueryEngine(world.peb)
+    for issuer in world.uids[:10]:
+        tracked = engine.collect_friend_states(issuer)
+        friends = {uid for _, uid in world.store.friend_list(issuer)}
+        indexed_friends = {uid for uid in friends if world.peb.contains(uid)}
+        assert set(tracked) == indexed_friends
+        for uid, obj in tracked.items():
+            assert obj.uid == uid

@@ -109,6 +109,72 @@ def test_scan_sv_zrange_returns_matching_entries():
         assert entry_sv == sv_q
 
 
+def test_update_with_unchanged_key_rewrites_in_place():
+    """A same-key update must not structurally delete and reinsert."""
+    tree = make_peb()
+    for uid in range(10):
+        tree.insert(mover(uid, x=uid * 90.0, y=uid * 90.0, vx=0.0, vy=0.0))
+    target = mover(3, x=270.0, y=270.0, vx=0.0, vy=0.0, t=0.0)
+    assert tree.key_for(target) == tree._live_keys[3]
+
+    leaves_before = tree.btree.leaf_count
+    tree.update(target, pntp=7)
+    assert tree.btree.leaf_count == leaves_before
+    assert len(tree) == 10
+    tree.btree.check_invariants()
+    # The payload really was rewritten.
+    _, pntp = tree.records.unpack(tree.btree.search(tree._live_keys[3], 3))
+    assert pntp == 7
+
+
+def test_update_in_place_saves_io_versus_delete_insert():
+    """The in-place path must cost strictly less I/O than delete+insert."""
+
+    def build():
+        tree = make_peb()
+        for uid in range(10):
+            tree.insert(mover(uid, x=uid * 90.0, y=uid * 90.0, vx=0.0, vy=0.0))
+        return tree
+
+    same_state = dict(x=270.0, y=270.0, vx=0.0, vy=0.0, t=0.0)
+
+    in_place = build()
+    in_place.stats.reset()
+    in_place.update(mover(3, **same_state), pntp=1)
+    in_place_io = (
+        in_place.stats.logical_reads + in_place.stats.logical_writes
+    )
+
+    churned = build()
+    churned.stats.reset()
+    churned.delete(3)
+    churned.insert(mover(3, **same_state), pntp=1)
+    churn_io = churned.stats.logical_reads + churned.stats.logical_writes
+
+    assert in_place_io < churn_io
+    # Both paths leave identical visible state behind.
+    assert in_place.fetch_all()[3].x == churned.fetch_all()[3].x
+    assert in_place._live_keys == churned._live_keys
+
+
+def test_update_with_changed_key_still_moves_entry():
+    tree = make_peb()
+    tree.insert(mover(0, x=100.0, y=100.0, vx=0.0, vy=0.0))
+    old_key = tree._live_keys[0]
+    tree.update(mover(0, x=900.0, y=900.0, vx=0.0, vy=0.0, t=0.0))
+    assert tree._live_keys[0] != old_key
+    assert tree.btree.search(old_key, 0) is None
+    assert tree.fetch_all()[0].x == 900.0
+    tree.btree.check_invariants()
+
+
+def test_update_of_unindexed_user_inserts():
+    tree = make_peb()
+    tree.update(mover(2))
+    assert tree.contains(2)
+    assert len(tree) == 1
+
+
 def test_structure_sound_under_update_churn():
     tree = make_peb(range(50))
     for uid in range(50):

@@ -108,3 +108,19 @@ def test_corner_query_location(small_world):
     assert [round(d, 9) for d, _ in result.neighbors] == [
         round(d, 9) for d, _ in expected
     ]
+
+
+def test_span_cache_stays_within_documented_bound(small_world):
+    """The per-query span cache is bounded by contexts x (rounds + 1)."""
+    from repro.core.pknn import _MatrixSearch
+
+    world = small_world
+    for query in world.query_generator().knn_queries(world.states, 5, 4, 5.0):
+        search = _MatrixSearch(
+            world.peb, query.q_uid, query.qx, query.qy, query.k, query.t_query
+        )
+        search.run()
+        assert len(search._span_cache) <= search._span_cache_capacity
+        assert search._span_cache_capacity == max(1, len(search.contexts)) * (
+            search.max_rounds + 1
+        )
