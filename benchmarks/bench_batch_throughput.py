@@ -19,12 +19,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke
 
+``--json PATH`` (default ``BENCH_batch.json``) writes the rows and
+configuration as machine-readable JSON for the perf trajectory; pass
+``--json ''`` to skip.
+
 Exits non-zero when the largest batch fails to beat sequential I/O.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.harness import ExperimentConfig, ExperimentHarness
@@ -48,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-sizes",
         default="8,32,64,128",
         help="comma-separated batch sizes to sweep",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default="BENCH_batch.json",
+        help="write machine-readable results here ('' disables)",
     )
     parser.add_argument("--seed", type=int, default=7)
     return parser
@@ -93,8 +104,20 @@ def main(argv: list[str] | None = None) -> int:
         ],
     )
     last = None
+    rows = []
     for size in batch_sizes:
         last = harness.run_batched_prq(n_queries=size)
+        rows.append(
+            {
+                "batch_size": size,
+                "sequential_io_per_query": last.sequential_io,
+                "batched_io_per_query": last.batched_io,
+                "io_reduction": last.io_reduction,
+                "dedup_ratio": last.dedup_ratio,
+                "sequential_queries_per_second": last.sequential_qps,
+                "batched_queries_per_second": last.batched_qps,
+            }
+        )
         table.add_row(
             size,
             f"{last.sequential_io:.2f}",
@@ -105,6 +128,26 @@ def main(argv: list[str] | None = None) -> int:
             f"{last.batched_qps:.0f}",
         )
     table.print()
+
+    if args.json_path:
+        payload = {
+            "benchmark": "batch_throughput",
+            "config": {
+                "n_users": config.n_users,
+                "n_policies": config.n_policies,
+                "grouping_factor": config.grouping_factor,
+                "window_side": config.window_side,
+                "page_size": config.page_size,
+                "buffer_pages": config.buffer_pages,
+                "seed": config.seed,
+                "batch_sizes": batch_sizes,
+            },
+            "rows": rows,
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {args.json_path}")
 
     if last is not None and last.sequential_io == 0:
         # Degenerate configuration: the whole working set fits in the

@@ -42,3 +42,28 @@ def test_fig18b_pknn_io_vs_updates(benchmark, preset):
     record_series(benchmark, rows, ["updated_pct", "knn_peb", "knn_base"])
     for row in rows:
         assert row["knn_peb"] < row["knn_base"]
+
+
+def test_fig18u_amortized_update_io(benchmark, preset):
+    """Write-path variant: what each 25% churn step itself costs,
+    one-at-a-time vs through the batch update pipeline."""
+    rows = run_once(benchmark, lambda: experiments.fig18_update_io(preset))
+    table = SeriesTable(
+        f"Figure 18u: amortized update I/O per churn step [{preset.name}]",
+        ["updated %", "sequential", "batched", "reduction"],
+    )
+    for row in rows:
+        table.add_row(
+            row["updated_pct"],
+            f"{row['seq_io']:.2f}",
+            f"{row['batched_io']:.2f}",
+            f"{row['io_reduction']:.2f}x",
+        )
+    table.print()
+    record_series(
+        benchmark, rows, ["updated_pct", "seq_io", "batched_io", "io_reduction"]
+    )
+    # Batching must never cost more I/O than sequential application
+    # (contents are asserted identical inside run_batched_updates).
+    for row in rows:
+        assert row["io_reduction"] >= 1.0

@@ -265,6 +265,34 @@ def fig18_vs_updates(preset: ScalePreset) -> list[dict]:
     return rows
 
 
+def fig18_update_io(preset: ScalePreset, batch_size: int = 256) -> list[dict]:
+    """Figure 18, write-path variant: amortized update I/O per step.
+
+    The paper's Figure 18 tracks *query* cost while the data set churns;
+    this variant reports what each 25% churn step itself costs — the
+    physical reads + writes per update when the round is applied
+    one :meth:`PEBTree.update` at a time versus through the batch
+    update pipeline at ``batch_size``, measured from a cold paper-sized
+    buffer on physically identical trees (checkpoint clone).  Not
+    cached: the harness is mutated by the update rounds.
+    """
+    harness = ExperimentHarness(preset.base)
+    rows = []
+    for round_index in range(1, preset.update_rounds + 1):
+        costs = harness.run_batched_updates(batch_size=batch_size)
+        rows.append(
+            {
+                "updated_pct": round_index * 25,
+                "seq_io": costs.sequential_io,
+                "batched_io": costs.batched_io,
+                "io_reduction": costs.io_reduction,
+                "in_place_ratio": costs.in_place_ratio,
+                "descents_saved": costs.descents_saved,
+            }
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Figure 19 — cost-model validation
 # ----------------------------------------------------------------------

@@ -18,10 +18,11 @@ from dataclasses import dataclass, field, replace
 from repro.bench.oracle import brute_force_pknn, brute_force_prq
 from repro.bxtree.filter_baseline import SpatialFilterBaseline
 from repro.bxtree.tree import BxTree
+from repro.core.checkpoint import clone_peb_tree
 from repro.core.peb_tree import PEBTree
 from repro.core.pknn import pknn
 from repro.core.prq import prq
-from repro.engine import QueryEngine
+from repro.engine import QueryEngine, UpdatePipeline
 from repro.core.sequencing import EncodingReport, assign_sequence_values
 from repro.motion.objects import MovingObject
 from repro.motion.partitions import TimePartitioner
@@ -128,6 +129,54 @@ class BatchQueryCosts:
         if self.batched_seconds <= 0:
             return float("inf")
         return self.n_queries / self.batched_seconds
+
+
+@dataclass
+class UpdateRoundCosts:
+    """One-at-a-time vs pipelined application of one update round.
+
+    Attributes:
+        sequential_io: physical reads + writes per update, states
+            applied one :meth:`PEBTree.update` at a time.
+        batched_io: physical reads + writes per update through
+            :class:`repro.engine.UpdatePipeline` at ``batch_size``.
+        n_updates: states applied (identical in both modes).
+        batch_size: pipeline flush threshold measured.
+        in_place_ratio: fraction of states served by an in-place leaf
+            rewrite (same PEB-key re-reports).
+        descents_saved: root-to-leaf descents batching avoided.
+        sequential_seconds, batched_seconds: wall-clock of each mode.
+    """
+
+    sequential_io: float
+    batched_io: float
+    n_updates: int
+    batch_size: int
+    in_place_ratio: float
+    descents_saved: int
+    sequential_seconds: float
+    batched_seconds: float
+
+    @property
+    def io_reduction(self) -> float:
+        """Sequential I/O over batched I/O (>1 means the pipeline wins)."""
+        if self.batched_io <= 0:
+            return float("inf") if self.sequential_io > 0 else 1.0
+        return self.sequential_io / self.batched_io
+
+    @property
+    def sequential_ups(self) -> float:
+        """Updates per second, one-at-a-time mode."""
+        if self.sequential_seconds <= 0:
+            return float("inf")
+        return self.n_updates / self.sequential_seconds
+
+    @property
+    def batched_ups(self) -> float:
+        """Updates per second, pipelined mode."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.n_updates / self.batched_seconds
 
 
 class ExperimentHarness:
@@ -370,24 +419,125 @@ class ExperimentHarness:
     # Update rounds (Figure 18)
     # ------------------------------------------------------------------
 
-    def apply_update_round(self, fraction: float = 0.25) -> None:
-        """Advance time one phase and re-report the stalest ``fraction``.
+    def _generate_update_round(self, fraction: float) -> list[MovingObject]:
+        """Advance the clock and derive the round's re-reported states.
 
-        Figure 18 measures query cost "each time 25% of the data set has
-        been updated ... until the data set has been fully updated twice".
-        Each round advances the clock by Δt_mu * fraction so four rounds
-        cycle the whole population within the maximum update interval.
+        The Figure 18 workload: time moves forward by Δt_mu * fraction
+        and the stalest ``fraction`` of the population re-reports.  The
+        harness's own ``states`` are updated; applying the returned
+        list to the indexes is the caller's business, so one generated
+        round can drive several application strategies.
         """
         if not 0.0 < fraction <= 1.0:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.now += self.config.max_update_interval * fraction
         batch_size = int(len(self.states) * fraction)
         stalest = sorted(self.states.values(), key=lambda obj: obj.t_update)
+        moved_objects = []
         for obj in stalest[:batch_size]:
             moved = self.movement.advance(obj, self.now)
             self.states[moved.uid] = moved
-            self.peb_tree.update(moved)
+            moved_objects.append(moved)
+        return moved_objects
+
+    def apply_update_round(
+        self, fraction: float = 0.25, pipeline: UpdatePipeline | None = None
+    ) -> None:
+        """Advance time one phase and re-report the stalest ``fraction``.
+
+        Figure 18 measures query cost "each time 25% of the data set has
+        been updated ... until the data set has been fully updated twice".
+        Each round advances the clock by Δt_mu * fraction so four rounds
+        cycle the whole population within the maximum update interval.
+
+        With a ``pipeline`` the PEB-tree side of the round flows through
+        the batch update pipeline (flushed before returning, so queries
+        may follow immediately); the Bx-tree baseline always updates
+        one at a time — it has no batch path, which is part of the
+        comparison.
+        """
+        moved_objects = self._generate_update_round(fraction)
+        if pipeline is None:
+            for moved in moved_objects:
+                self.peb_tree.update(moved)
+        else:
+            if pipeline.tree is not self.peb_tree:
+                raise ValueError("pipeline is bound to a different tree")
+            pipeline.extend(moved_objects)
+            pipeline.flush()
+        for moved in moved_objects:
             self.bx_tree.update(moved)
+
+    def run_batched_updates(
+        self, batch_size: int = 256, fraction: float = 0.25
+    ) -> UpdateRoundCosts:
+        """Measure one update round one-at-a-time vs pipelined.
+
+        One Figure 18 round is generated once, then applied twice from
+        a cold paper-sized buffer: sequentially to a physically
+        identical clone of the PEB-tree (checkpoint round-trip — same
+        page images, same ids), and through an
+        :class:`repro.engine.UpdatePipeline` to the harness's own tree.
+        Counting both physical reads and writes (with a final pool
+        flush in each mode) makes the comparison complete for a write
+        workload.  Final index contents and invariants are asserted
+        identical — batching is an I/O optimization, never a different
+        index.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        moved_objects = self._generate_update_round(fraction)
+        count = len(moved_objects)
+        if count == 0:
+            raise ValueError("update round produced no states to apply")
+
+        clone = clone_peb_tree(self.peb_tree, buffer_pages=self.config.buffer_pages)
+        clone.stats.reset()
+        started = time.perf_counter()
+        for moved in moved_objects:
+            clone.update(moved)
+        clone.btree.pool.flush()
+        sequential_seconds = time.perf_counter() - started
+        sequential_io = clone.stats.physical_reads + clone.stats.physical_writes
+
+        self._start_measuring(self.peb_pool)
+        self.peb_pool.clear()
+        pipeline = UpdatePipeline(self.peb_tree, capacity=batch_size)
+        started = time.perf_counter()
+        pipeline.extend(moved_objects)
+        pipeline.flush()
+        self.peb_pool.flush()
+        batched_seconds = time.perf_counter() - started
+        batched_io = (
+            self.peb_pool.stats.physical_reads + self.peb_pool.stats.physical_writes
+        )
+        self._stop_measuring(self.peb_pool)
+
+        for moved in moved_objects:
+            self.bx_tree.update(moved)
+
+        clone.btree.check_invariants()
+        self.peb_tree.btree.check_invariants()
+        if clone._live_keys != self.peb_tree._live_keys:
+            raise AssertionError("batched update memo diverged from sequential")
+        sequential_entries = list(clone.btree.items())
+        batched_entries = list(self.peb_tree.btree.items())
+        if sequential_entries != batched_entries:
+            raise AssertionError(
+                "batched update contents diverged from sequential "
+                f"({len(sequential_entries)} vs {len(batched_entries)} entries)"
+            )
+
+        return UpdateRoundCosts(
+            sequential_io=sequential_io / count,
+            batched_io=batched_io / count,
+            n_updates=count,
+            batch_size=batch_size,
+            in_place_ratio=pipeline.stats.in_place_ratio,
+            descents_saved=pipeline.stats.descents_saved,
+            sequential_seconds=sequential_seconds,
+            batched_seconds=batched_seconds,
+        )
 
     # ------------------------------------------------------------------
     # Derived quantities for the cost model (Section 6)

@@ -40,6 +40,38 @@ MAX_UID = 0xFFFFFFFF
 
 CompositeKey = tuple[int, int]
 
+#: One batch operation: ``(kind, key, uid, value)`` with kind one of
+#: ``"insert"`` / ``"delete"`` / ``"replace"`` (value ignored for deletes).
+BatchOp = tuple[str, int, int, bytes | None]
+
+_BATCH_KINDS = frozenset(("insert", "delete", "replace"))
+
+
+@dataclass
+class BatchApplyStats:
+    """Accounting of one :meth:`BPlusTree.apply_sorted_batch` call.
+
+    ``leaves_visited`` is the number the pipeline amortizes: applied one
+    at a time, every op pays its own root-to-leaf descent; batched, all
+    ops landing in the same leaf share one visit (and one split or
+    rebalance pass), so ``ops - leaves_visited`` descents are saved.
+    """
+
+    ops: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    replaces: int = 0
+    leaves_visited: int = 0
+    leaf_splits: int = 0
+    internal_splits: int = 0
+    merges: int = 0
+    borrows: int = 0
+
+    @property
+    def descents_saved(self) -> int:
+        """Root-to-leaf descents one-at-a-time application would add."""
+        return max(0, self.ops - self.leaves_visited)
+
 
 @dataclass(frozen=True)
 class BTreeConfig:
@@ -222,6 +254,358 @@ class BPlusTree:
 
     def __len__(self) -> int:
         return self.entry_count
+
+    # ------------------------------------------------------------------
+    # Batch application
+    # ------------------------------------------------------------------
+
+    def apply_sorted_batch(self, ops: list[BatchOp]) -> BatchApplyStats:
+        """Apply key-sorted insert/delete/replace ops in one tree sweep.
+
+        Args:
+            ops: ``(kind, key, uid, value)`` tuples sorted strictly
+                ascending by ``(key, uid)`` — at most one op per entry
+                identity.  ``value`` is ignored for deletes.
+
+        All ops landing in the same leaf are applied during a single
+        visit; a leaf that overflows is split into evenly filled chunks
+        once, a leaf that underflows is rebalanced once, and interior
+        nodes absorb their children's splits and merges in the same
+        single pass.  The final tree is observationally identical to
+        applying the ops one at a time (same entries, same invariants);
+        only the physical page layout may differ.
+
+        Raises:
+            ValueError: ops unsorted, duplicated, or of unknown kind —
+                detected up front, before any page is modified.
+            KeyError: duplicate insert, or delete/replace of a missing
+                entry.  Each leaf's group is validated against the leaf
+                before any of its ops apply, so the failing group is
+                never partially applied; groups in earlier leaves of
+                the batch remain applied (the caller's bookkeeping —
+                e.g. the PEB-tree's update memo — makes such batches
+                impossible in normal operation).
+        """
+        stats = BatchApplyStats()
+        if not ops:
+            return stats
+        previous: CompositeKey | None = None
+        for kind, key, uid, _ in ops:
+            if kind not in _BATCH_KINDS:
+                raise ValueError(f"unknown batch op kind {kind!r}")
+            self._check_key(key)
+            ck = (key, uid)
+            if previous is not None and ck <= previous:
+                raise ValueError(
+                    f"batch ops must be strictly ascending by (key, uid); "
+                    f"{ck} follows {previous}"
+                )
+            previous = ck
+        # Mixed batches run as two homogeneous sweeps — shrinking ops
+        # first, then inserts.  Op identities are pairwise distinct, so
+        # the outcome is order-independent, and a homogeneous sweep
+        # means no node ever absorbs child splits and child merges in
+        # the same pass (a leaf sweep either only grows or only
+        # shrinks), which keeps every resident page within its size
+        # bound whenever an eviction can run.
+        shrink = [op for op in ops if op[0] != "insert"]
+        grow = [op for op in ops if op[0] == "insert"]
+        for sweep in (shrink, grow):
+            if sweep:
+                self._apply_sweep(sweep, stats)
+        return stats
+
+    def _apply_sweep(self, ops: list[BatchOp], stats: BatchApplyStats) -> None:
+        """One homogeneous (all-growing or all-shrinking) batch sweep."""
+        splits, _ = self._batch_rec(self.root_id, ops, stats)
+        while splits:
+            new_root = InternalNode(
+                separators=[separator for separator, _ in splits],
+                children=[self.root_id] + [page_id for _, page_id in splits],
+            )
+            new_root_id = self.pool.disk.allocate()
+            self.pool.put(new_root_id, new_root)
+            self.root_id = new_root_id
+            self.height += 1
+            if len(new_root.separators) > self.config.internal_capacity:
+                splits = self._split_internal_chunks(new_root_id, new_root, stats)
+            else:
+                splits = []
+        self._collapse_root()
+
+    def _batch_rec(
+        self, page_id: int, ops: list[BatchOp], stats: BatchApplyStats
+    ) -> tuple[list[tuple[CompositeKey, int]], bool]:
+        """Apply ``ops`` under ``page_id``.
+
+        Returns ``(splits, underflowed)``: ``(separator, new_page_id)``
+        pairs, ascending, for sibling nodes split off to the right of
+        ``page_id``, and whether ``page_id`` itself ended below its
+        minimum.  Underflow of ``page_id`` is the *caller's*
+        responsibility (mirroring :meth:`_delete_rec`) — reporting it
+        instead of letting the parent re-read every visited child is
+        what keeps the batch's page traffic at one visit per touched
+        node; underflows of this node's children are fixed here.
+        """
+        node = self.pool.get(page_id)
+        if node.is_leaf:
+            return self._batch_leaf(page_id, node, ops, stats)
+
+        # Partition the sorted ops among children; ops and separators
+        # are both ascending, so one forward walk suffices.
+        separators = list(node.separators)
+        children = list(node.children)
+        groups: list[tuple[int, list[BatchOp]]] = []
+        child_idx = 0
+        current: list[BatchOp] = []
+        for op in ops:
+            ck = (op[1], op[2])
+            idx = bisect_right(separators, ck, child_idx)
+            if idx != child_idx:
+                if current:
+                    groups.append((child_idx, current))
+                    current = []
+                child_idx = idx
+            current.append(op)
+        if current:
+            groups.append((child_idx, current))
+
+        # `node` stays authoritative across the child recursion: an
+        # eviction may write it back and a re-read may install a second
+        # object, but nothing mutates this page while its subtree is
+        # processed, so mutating the local object and re-putting it is
+        # sound — and saves a physical re-read per interior node.
+        pending: list[tuple[int, list[tuple[CompositeKey, int]]]] = []
+        underfull: list[int] = []
+        for idx, child_ops in groups:
+            child_splits, child_underflowed = self._batch_rec(
+                children[idx], child_ops, stats
+            )
+            if child_splits:
+                pending.append((idx, child_splits))
+            if child_underflowed:
+                underfull.append(children[idx])
+
+        if pending:
+            offset = 0
+            for idx, child_splits in pending:
+                for j, (separator, new_id) in enumerate(child_splits):
+                    node.separators.insert(idx + offset + j, separator)
+                    node.children.insert(idx + offset + j + 1, new_id)
+                offset += len(child_splits)
+            self.pool.put(page_id, node)
+
+        # Split before touching any other page: an overfull node must
+        # never be resident while an eviction can write it back.  In a
+        # homogeneous sweep a node cannot both overflow and have
+        # underfull children, so splitting first loses nothing.
+        result: list[tuple[CompositeKey, int]] = []
+        if len(node.separators) > self.config.internal_capacity:
+            result = self._split_internal_chunks(page_id, node, stats)
+
+        if underfull:
+            self._fix_batch_underflows(page_id, node, underfull, stats)
+        return result, len(node.children) < self.config.min_children
+
+    def _batch_leaf(
+        self, page_id: int, leaf: LeafNode, ops: list[BatchOp], stats: BatchApplyStats
+    ) -> tuple[list[tuple[CompositeKey, int]], bool]:
+        """Apply one leaf's ops in a single visit; split once if needed.
+
+        The group is validated against the leaf before the first
+        mutation: ops have pairwise-distinct entry identities, so each
+        op's present/absent status is independent of the others, and a
+        doomed group raises with the leaf untouched.
+        """
+        stats.leaves_visited += 1
+        for kind, key, uid, _ in ops:
+            ck = (key, uid)
+            pos = bisect_left(leaf.keys, ck)
+            present = pos < len(leaf.keys) and leaf.keys[pos] == ck
+            if kind == "insert" and present:
+                raise KeyError(f"duplicate entry (key={key}, uid={uid})")
+            if kind != "insert" and not present:
+                raise KeyError(f"no entry (key={key}, uid={uid}) to {kind}")
+        for kind, key, uid, value in ops:
+            ck = (key, uid)
+            pos = bisect_left(leaf.keys, ck)
+            if kind == "insert":
+                leaf.keys.insert(pos, ck)
+                leaf.values.insert(pos, value)
+                self.entry_count += 1
+                stats.inserts += 1
+            elif kind == "delete":
+                del leaf.keys[pos]
+                del leaf.values[pos]
+                self.entry_count -= 1
+                stats.deletes += 1
+            else:  # replace
+                leaf.values[pos] = value
+                stats.replaces += 1
+            stats.ops += 1
+        if len(leaf.keys) <= self.config.leaf_capacity:
+            self.pool.put(page_id, leaf)
+            return [], len(leaf.keys) < self.config.min_leaf_entries
+        return self._split_leaf_chunks(page_id, leaf, stats), False
+
+    @staticmethod
+    def _chunk_sizes(total: int, max_per_chunk: int) -> list[int]:
+        """Evenly balanced chunk sizes, each at most ``max_per_chunk``.
+
+        Even distribution keeps every chunk at or above half of
+        ``max_per_chunk`` (the underflow threshold), whatever the
+        overflow factor.
+        """
+        chunks = -(-total // max_per_chunk)
+        base, extra = divmod(total, chunks)
+        return [base + 1] * extra + [base] * (chunks - extra)
+
+    def _split_leaf_chunks(
+        self, leaf_id: int, leaf: LeafNode, stats: BatchApplyStats
+    ) -> list[tuple[CompositeKey, int]]:
+        """Split an arbitrarily overfull leaf into evenly filled leaves.
+
+        The original leaf is trimmed to its first chunk *before* any
+        new page enters the pool, so no eviction can ever write back an
+        overfull image.
+        """
+        all_keys = leaf.keys
+        all_values = leaf.values
+        old_next = leaf.next_leaf
+        sizes = self._chunk_sizes(len(all_keys), self.config.leaf_capacity)
+        bounds = []
+        start = sizes[0]
+        for size in sizes[1:]:
+            bounds.append((start, start + size))
+            start += size
+        new_ids = [self.pool.disk.allocate() for _ in bounds]
+        leaf.keys = all_keys[: sizes[0]]
+        leaf.values = all_values[: sizes[0]]
+        leaf.next_leaf = new_ids[0]
+        self.pool.put(leaf_id, leaf)
+        splits: list[tuple[CompositeKey, int]] = []
+        for i, (lo, hi) in enumerate(bounds):
+            right = LeafNode(
+                keys=all_keys[lo:hi],
+                values=all_values[lo:hi],
+                next_leaf=new_ids[i + 1] if i + 1 < len(new_ids) else old_next,
+            )
+            self.pool.put(new_ids[i], right)
+            splits.append((right.keys[0], new_ids[i]))
+        self.leaf_count += len(new_ids)
+        stats.leaf_splits += len(new_ids)
+        return splits
+
+    def _split_internal_chunks(
+        self, page_id: int, node: InternalNode, stats: BatchApplyStats
+    ) -> list[tuple[CompositeKey, int]]:
+        """Split an arbitrarily overfull internal node into even chunks.
+
+        As with leaves, the original is trimmed before new pages enter
+        the pool so no eviction can write back an overfull image.
+        """
+        children = list(node.children)
+        separators = list(node.separators)
+        sizes = self._chunk_sizes(len(children), self.config.internal_capacity + 1)
+        node.children = children[: sizes[0]]
+        node.separators = separators[: sizes[0] - 1]
+        self.pool.put(page_id, node)
+        splits: list[tuple[CompositeKey, int]] = []
+        start = sizes[0]
+        for size in sizes[1:]:
+            right = InternalNode(
+                separators=separators[start : start + size - 1],
+                children=children[start : start + size],
+            )
+            right_id = self.pool.disk.allocate()
+            self.pool.put(right_id, right)
+            splits.append((separators[start - 1], right_id))
+            start += size
+        stats.internal_splits += len(splits)
+        return splits
+
+    def _fix_batch_underflows(
+        self,
+        parent_id: int,
+        parent: InternalNode,
+        underfull: list[int],
+        stats: BatchApplyStats,
+    ) -> None:
+        """Rebalance the reported underfull children of ``parent``.
+
+        Batch deletes can drain a leaf far below the threshold, so one
+        borrow may not suffice; each fix's surviving node is re-queued
+        until every reported child satisfies its minimum.  Progress is
+        guaranteed: a borrow shrinks the total deficit, a merge shrinks
+        the child count.
+        """
+        pending = list(dict.fromkeys(underfull))
+        while pending:
+            child_id = pending.pop(0)
+            try:
+                idx = parent.children.index(child_id)
+            except ValueError:
+                continue  # merged away by an earlier fix
+            child = self.pool.get(child_id)
+            if not self._underflows(child) or len(parent.children) < 2:
+                continue
+            survivor = self._fix_one_batch_underflow(parent, parent_id, idx, stats)
+            pending.insert(0, parent.children[survivor])
+
+    def _fix_one_batch_underflow(
+        self, parent: InternalNode, parent_id: int, idx: int, stats: BatchApplyStats
+    ) -> int:
+        """One borrow or merge step; returns the index to re-examine.
+
+        Siblings are probed resident-first: the sweep just visited the
+        neighbours of an underfull node, so a hot sibling that can
+        spare saves the physical read a cold one would cost (checking
+        residency is free).  The single-op path has no such choice —
+        its one rebalance has no sweep context to exploit.
+        """
+        child_id = parent.children[idx]
+        child = self.pool.get(child_id)
+        sides = []
+        if idx > 0:
+            sides.append(idx - 1)
+        if idx < len(parent.children) - 1:
+            sides.append(idx + 1)
+        sides.sort(key=lambda side: parent.children[side] not in self.pool)
+        for side in sides:
+            sibling_id = parent.children[side]
+            sibling = self.pool.get(sibling_id)
+            if not self._can_spare(sibling):
+                continue
+            if side < idx:
+                self._borrow_from_left(parent, idx, sibling, child)
+            else:
+                self._borrow_from_right(parent, idx, child, sibling)
+            self.pool.put(sibling_id, sibling)
+            self.pool.put(child_id, child)
+            self.pool.put(parent_id, parent)
+            stats.borrows += 1
+            return idx
+        stats.merges += 1
+        left_of_seam = idx - 1 if idx > 0 else idx
+        left_partner = self.pool.get(parent.children[left_of_seam])
+        right_partner = self.pool.get(parent.children[left_of_seam + 1])
+        # Merging two internal nodes makes their children siblings of
+        # one another.  A child that was its parent's only one had no
+        # sibling to rebalance with, so its deficit may have gone
+        # unfixed; the merge is the first chance to fix it, one level
+        # below.  Any partner with two or more children already had its
+        # children rebalanced, so only singletons need the recheck.
+        recheck = [
+            partner.children[0]
+            for partner in (left_partner, right_partner)
+            if not partner.is_leaf and len(partner.children) == 1
+        ]
+        self._merge_children(parent, parent_id, left_of_seam)
+        if recheck:
+            survivor_id = parent.children[left_of_seam]
+            survivor = self.pool.get(survivor_id)
+            self._fix_batch_underflows(survivor_id, survivor, recheck, stats)
+        return left_of_seam
 
     # ------------------------------------------------------------------
     # Descent

@@ -7,6 +7,9 @@ Six subcommands cover the library's workflows end to end:
 * ``batch-query`` — run one PRQ workload one-at-a-time and through the
   engine's cross-query band-scan batching, print I/O per query, the
   dedup ratio, and throughput of both modes.
+* ``batch-update`` — apply Figure 18 update rounds one ``update`` at a
+  time and through the batch update pipeline, print amortized physical
+  I/O per update and the reduction per batch size.
 * ``encode`` — generate a policy workload and run a sequence-value
   encoder; prints timing and assignment statistics (the Figure 11
   experiment in miniature, any encoder).
@@ -32,6 +35,8 @@ from repro.core.encoders import ENCODERS, make_encoder
 from repro.workloads.policies import PolicyGenerator
 
 #: Experiment names accepted by the ``experiment`` subcommand.
+#: ``fig18u`` is this reproduction's write-path variant of Figure 18:
+#: amortized update I/O per churn step instead of query I/O after it.
 EXPERIMENTS = (
     "fig11a",
     "fig11b",
@@ -43,6 +48,7 @@ EXPERIMENTS = (
     "fig16",
     "fig17",
     "fig18",
+    "fig18u",
 )
 
 
@@ -80,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--window", type=float, default=200.0)
     batch.add_argument("--queries", type=int, default=64)
     batch.add_argument("--seed", type=int, default=7)
+
+    batch_update = subparsers.add_parser(
+        "batch-update",
+        help="measure the batch update pipeline vs one-at-a-time updates",
+    )
+    batch_update.add_argument("--users", type=int, default=2000)
+    batch_update.add_argument("--policies", type=int, default=20)
+    batch_update.add_argument("--theta", type=float, default=0.7)
+    batch_update.add_argument(
+        "--batch-sizes",
+        dest="batch_sizes",
+        default="64,256,1024",
+        help="comma-separated pipeline capacities; one Figure 18 round each",
+    )
+    batch_update.add_argument("--seed", type=int, default=7)
 
     encode = subparsers.add_parser(
         "encode", help="run a sequence-value encoder on a policy workload"
@@ -217,6 +238,48 @@ def run_batch_query(args) -> int:
     return 0
 
 
+def run_batch_update(args) -> int:
+    config = ExperimentConfig(
+        n_users=args.users,
+        n_policies=args.policies,
+        grouping_factor=args.theta,
+        page_size=1024,
+        seed=args.seed,
+    )
+    batch_sizes = sorted({int(size) for size in args.batch_sizes.split(",")})
+    print(
+        f"Building {config.n_users} users, {config.n_policies} policies/user, "
+        f"theta={config.grouping_factor} ..."
+    )
+    harness = ExperimentHarness(config)
+
+    table = SeriesTable(
+        f"Batch update pipeline vs one-at-a-time ({config.buffer_pages}-page "
+        "cold buffer, one 25% Figure 18 round per row)",
+        [
+            "batch size",
+            "seq I/O per update",
+            "batch I/O per update",
+            "I/O reduction",
+            "in-place ratio",
+            "descents saved",
+        ],
+    )
+    for size in batch_sizes:
+        costs = harness.run_batched_updates(batch_size=size)
+        table.add_row(
+            size,
+            f"{costs.sequential_io:.2f}",
+            f"{costs.batched_io:.2f}",
+            f"{costs.io_reduction:.2f}x",
+            f"{costs.in_place_ratio:.3f}",
+            costs.descents_saved,
+        )
+    table.print()
+    print("\nBatched index contents verified identical to sequential. OK")
+    return 0
+
+
 def run_encode(args) -> int:
     rng = random.Random(args.seed)
     generator = PolicyGenerator(1000.0, 1440.0, rng)
@@ -260,6 +323,7 @@ def run_experiment(args) -> int:
         "fig16": lambda: experiments.fig16_vs_destinations(preset, cache),
         "fig17": lambda: experiments.fig17_vs_speed(preset, cache),
         "fig18": lambda: experiments.fig18_vs_updates(preset),
+        "fig18u": lambda: experiments.fig18_update_io(preset),
     }
     rows = drivers[args.name]()
     if not rows:
@@ -311,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": run_demo,
         "batch-query": run_batch_query,
+        "batch-update": run_batch_update,
         "encode": run_encode,
         "experiment": run_experiment,
         "report": run_report,

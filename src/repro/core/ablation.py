@@ -58,6 +58,10 @@ class ZVFirstKeyCodec(PEBKeyCodec):
         tid = rest >> self.zv_bits
         return tid, sv_q, zv
 
+    def zv_of(self, key: int) -> int:
+        """ZV sits in the middle of this layout: shift past SV, mask."""
+        return (key >> self.sv_bits) & self._zv_mask
+
 
 def make_zv_first_tree(pool, grid, partitioner, store, sv_bits=32, sv_scale=128):
     """A PEB-tree whose keys put location above policy proximity."""

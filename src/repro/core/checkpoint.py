@@ -22,6 +22,7 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import tempfile
 
 from repro.btree.tree import BPlusTree, BTreeConfig
 from repro.core.peb_key import PEBKeyCodec
@@ -85,13 +86,20 @@ def save_peb_tree(tree: PEBTree, directory: str) -> None:
 
 
 def load_peb_tree(
-    directory: str, buffer_pages: int = DEFAULT_BUFFER_PAGES
+    directory: str,
+    buffer_pages: int = DEFAULT_BUFFER_PAGES,
+    recompute_speeds: bool = False,
 ) -> PEBTree:
     """Reassemble the PEB-tree checkpointed in ``directory``.
 
     Args:
         directory: checkpoint location written by :func:`save_peb_tree`.
         buffer_pages: capacity of the (cold) buffer pool to start with.
+        recompute_speeds: derive the speed maxima from the restored
+            entries instead of trusting the checkpoint's values (one
+            full leaf-chain scan).  The maxima feed the Figure 2 window
+            enlargements, so stale values silently drop query results;
+            see :meth:`repro.core.peb_tree.PEBTree.check_consistency`.
     """
     with open(os.path.join(directory, META_FILE), "rb") as handle:
         meta = json.loads(gzip.decompress(handle.read()))
@@ -144,4 +152,22 @@ def load_peb_tree(
         live_keys={int(uid): key for uid, key in meta["live_keys"].items()},
         max_speed_x=meta["max_speed"]["x"],
         max_speed_y=meta["max_speed"]["y"],
+        recompute_speeds=recompute_speeds,
     )
+
+
+def clone_peb_tree(
+    tree: PEBTree, buffer_pages: int = DEFAULT_BUFFER_PAGES
+) -> PEBTree:
+    """A physically identical, fully independent copy of ``tree``.
+
+    A checkpoint round-trip through a temporary directory: the clone's
+    disk holds the same page images at the same ids, so two copies of
+    one index can run *competing* workloads — e.g. sequential vs.
+    batched application of the same update round — with every I/O
+    difference attributable to the workload, not to layout drift.  The
+    clone starts with a cold ``buffer_pages``-page pool.
+    """
+    with tempfile.TemporaryDirectory(prefix="peb-clone-") as scratch:
+        save_peb_tree(tree, scratch)
+        return load_peb_tree(scratch, buffer_pages=buffer_pages)

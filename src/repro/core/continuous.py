@@ -104,6 +104,19 @@ class ContinuousPRQ:
         self._tracked[obj.uid] = obj
         return True
 
+    def attach_to(self, pipeline) -> "ContinuousPRQ":
+        """Re-register through a batch update pipeline.
+
+        Every state the pipeline applies to the index is fanned to
+        :meth:`refresh` after its flush, so the monitor's tracked
+        motion functions stay exactly as fresh as the index without
+        the server routing updates to each standing query by hand.
+        Accepts an :class:`repro.engine.updater.UpdatePipeline`;
+        returns ``self`` so registration chains off construction.
+        """
+        pipeline.attach_monitor(self)
+        return self
+
     def forget(self, uid: int) -> bool:
         """Stop tracking a user (deregistration, policy revocation)."""
         return self._tracked.pop(uid, None) is not None

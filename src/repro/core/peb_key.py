@@ -59,6 +59,8 @@ class PEBKeyCodec:
             raise ValueError("sv_bits and zv_bits must be positive")
         if self.sv_scale < 1:
             raise ValueError("sv_scale must be at least 1")
+        # Precomputed once: zv_of runs per scanned row.
+        object.__setattr__(self, "_zv_mask", (1 << self.zv_bits) - 1)
 
     @property
     def tid_bits(self) -> int:
@@ -108,6 +110,18 @@ class PEBKeyCodec:
         sv_q = rest & ((1 << self.sv_bits) - 1)
         tid = rest >> self.sv_bits
         return tid, sv_q, zv
+
+    def zv_of(self, key: int) -> int:
+        """The Z-value field alone — one precomputed mask, no full
+        decomposition.
+
+        The band-scan hot path runs this once per returned row; see
+        ``benchmarks/bench_batch_updates.py --micro`` for what skipping
+        the tuple build and extra shifts of :meth:`decompose` is worth
+        there.  Layout variants that move the ZV field (the ZV-first
+        ablation codec) override this to match their ``decompose``.
+        """
+        return key & self._zv_mask
 
     def search_range(
         self, tid: int, sv: float, z_lo: int, z_hi: int

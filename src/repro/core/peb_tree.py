@@ -13,13 +13,45 @@ deletes exactly the stale entry.
 
 from __future__ import annotations
 
-from repro.btree.tree import BPlusTree, BTreeConfig
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.btree.tree import BatchOp, BPlusTree, BTreeConfig
 from repro.core.peb_key import DEFAULT_SV_BITS, DEFAULT_SV_SCALE, PEBKeyCodec
 from repro.motion.objects import MovingObject, ObjectRecordCodec
 from repro.motion.partitions import TimePartitioner
 from repro.policy.store import PolicyStore
 from repro.spatial.grid import Grid
 from repro.storage.buffer import BufferPool
+
+#: One buffered update: a bare object state, or ``(state, pntp)``.
+UpdateItem = MovingObject | tuple[MovingObject, int]
+
+
+@dataclass
+class BatchUpdateResult:
+    """Outcome of one :meth:`PEBTree.update_batch` call.
+
+    ``descents_saved`` is the amortization headline: sequential
+    application pays one root-to-leaf descent per op (two per moved
+    entry — delete plus insert), the batch pays one leaf visit per
+    *leaf*, however many ops land in it.
+    """
+
+    ops: int = 0
+    in_place: int = 0
+    moved: int = 0
+    inserted: int = 0
+    leaves_visited: int = 0
+
+    @property
+    def sequential_descents(self) -> int:
+        """Descents the same updates cost applied one at a time."""
+        return self.in_place + 2 * self.moved + self.inserted
+
+    @property
+    def descents_saved(self) -> int:
+        return max(0, self.sequential_descents - self.leaves_visited)
 
 
 class PEBTree:
@@ -74,11 +106,21 @@ class PEBTree:
         live_keys: dict[int, int],
         max_speed_x: float,
         max_speed_y: float,
+        recompute_speeds: bool = False,
     ) -> "PEBTree":
         """Bind to an already-built index (the checkpoint-restore path).
 
         No pages are allocated; the supplied B+-tree, codec, and update
         memo are adopted verbatim.  See :mod:`repro.core.checkpoint`.
+
+        The supplied speed maxima are a *correctness* input, not a mere
+        statistic: query planning enlarges windows by them (Figure 2),
+        so maxima smaller than any indexed velocity silently drop
+        results.  Pass ``recompute_speeds=True`` to rescan the indexed
+        entries and derive the maxima from them instead of trusting the
+        caller's values (one full leaf-chain read), or run
+        :meth:`check_consistency` afterwards to audit without the scan
+        cost being mandatory.
         """
         tree = cls.__new__(cls)
         tree.grid = grid
@@ -90,7 +132,68 @@ class PEBTree:
         tree._live_keys = dict(live_keys)
         tree.max_speed_x = max_speed_x
         tree.max_speed_y = max_speed_y
+        if recompute_speeds:
+            max_vx, max_vy = tree._scan_speed_maxima()
+            tree.max_speed_x = max(tree.max_speed_x, max_vx)
+            tree.max_speed_y = max(tree.max_speed_y, max_vy)
         return tree
+
+    def _scan_speed_maxima(self) -> tuple[float, float]:
+        """Greatest |vx| and |vy| among the indexed entries."""
+        max_vx = max_vy = 0.0
+        for _, _, payload in self.btree.items():
+            obj, _ = self.records.unpack(payload)
+            max_vx = max(max_vx, abs(obj.vx))
+            max_vy = max(max_vy, abs(obj.vy))
+        return max_vx, max_vy
+
+    def check_consistency(self, repair: bool = False) -> list[str]:
+        """Audit the memo and speed maxima against the index itself.
+
+        Walks every leaf entry once and reports (as human-readable
+        problem strings; empty list means consistent):
+
+        * entries the ``_live_keys`` memo does not know, or knows under
+          a different key;
+        * memoized users with no entry in the tree;
+        * speed maxima smaller than an indexed velocity — the stale-
+          checkpoint hazard that silently shrinks the Figure 2 window
+          enlargements and drops query results.
+
+        With ``repair=True`` the speed maxima are raised to cover the
+        indexed velocities (memo divergence is never auto-repaired —
+        it means the index and its metadata are from different worlds).
+        """
+        problems: list[str] = []
+        seen: dict[int, int] = {}
+        max_vx = max_vy = 0.0
+        for key, uid, payload in self.btree.items():
+            obj, _ = self.records.unpack(payload)
+            seen[uid] = key
+            max_vx = max(max_vx, abs(obj.vx))
+            max_vy = max(max_vy, abs(obj.vy))
+        for uid, key in seen.items():
+            memo_key = self._live_keys.get(uid)
+            if memo_key is None:
+                problems.append(f"entry for user {uid} missing from the memo")
+            elif memo_key != key:
+                problems.append(
+                    f"user {uid} indexed under key {key} but memoized as {memo_key}"
+                )
+        for uid in self._live_keys.keys() - seen.keys():
+            problems.append(f"memoized user {uid} has no index entry")
+        if max_vx > self.max_speed_x:
+            problems.append(
+                f"max_speed_x={self.max_speed_x} below indexed |vx|={max_vx}"
+            )
+        if max_vy > self.max_speed_y:
+            problems.append(
+                f"max_speed_y={self.max_speed_y} below indexed |vy|={max_vy}"
+            )
+        if repair:
+            self.max_speed_x = max(self.max_speed_x, max_vx)
+            self.max_speed_y = max(self.max_speed_y, max_vy)
+        return problems
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -140,6 +243,70 @@ class PEBTree:
         self.delete(obj.uid)
         self.insert(obj, pntp)
 
+    def update_batch(self, updates: Iterable[UpdateItem]) -> BatchUpdateResult:
+        """Apply a buffer of updates in two leaf-ordered tree sweeps.
+
+        Args:
+            updates: object states, or ``(state, pntp)`` pairs.  When a
+                user appears more than once, the last state wins (the
+                buffer semantics of a server's update queue).
+
+        The buffer is partitioned against the ``_live_keys`` memo:
+        same-key re-reports become in-place leaf rewrites, moved
+        entries a delete at the old key plus an insert at the new one,
+        unindexed users plain inserts.  Rewrites and deletes are sorted
+        by old key, inserts by new key, and each sorted run feeds
+        :meth:`repro.btree.BPlusTree.apply_sorted_batch`, which applies
+        every op landing in the same leaf during a single visit — one
+        descent and at most one split or rebalance per *leaf* instead
+        of per *op*.  The final index is observationally identical to
+        calling :meth:`update` once per buffered state, in any order.
+        """
+        latest: dict[int, tuple[MovingObject, int]] = {}
+        max_vx, max_vy = self.max_speed_x, self.max_speed_y
+        for item in updates:
+            if isinstance(item, MovingObject):
+                obj, pntp = item, 0
+            else:
+                obj, pntp = item
+            latest[obj.uid] = (obj, pntp)
+            # The speed maxima are monotone safety bounds (Figure 2
+            # enlargements): even a state superseded within the batch
+            # raises them, exactly as sequential application would.
+            max_vx = max(max_vx, abs(obj.vx))
+            max_vy = max(max_vy, abs(obj.vy))
+
+        result = BatchUpdateResult(ops=len(latest))
+        sweep_old: list[BatchOp] = []  # in-place rewrites + stale deletes
+        sweep_new: list[BatchOp] = []  # inserts at the new keys
+        new_keys: dict[int, int] = {}
+        for uid, (obj, pntp) in latest.items():
+            old_key = self._live_keys.get(uid)
+            new_key = self.key_for(obj)
+            payload = self.records.pack(obj, pntp)
+            if old_key is None:
+                sweep_new.append(("insert", new_key, uid, payload))
+                result.inserted += 1
+            elif new_key == old_key:
+                sweep_old.append(("replace", old_key, uid, payload))
+                result.in_place += 1
+            else:
+                sweep_old.append(("delete", old_key, uid, None))
+                sweep_new.append(("insert", new_key, uid, payload))
+                result.moved += 1
+            new_keys[uid] = new_key
+
+        sweep_old.sort(key=lambda op: (op[1], op[2]))
+        sweep_new.sort(key=lambda op: (op[1], op[2]))
+        stats_old = self.btree.apply_sorted_batch(sweep_old)
+        stats_new = self.btree.apply_sorted_batch(sweep_new)
+        result.leaves_visited = stats_old.leaves_visited + stats_new.leaves_visited
+
+        self._live_keys.update(new_keys)
+        self.max_speed_x = max_vx
+        self.max_speed_y = max_vy
+        return result
+
     def key_for(self, obj: MovingObject) -> int:
         """The PEB-key for the object's current state (Equation 5)."""
         label = self.partitioner.label_timestamp(obj.t_update)
@@ -180,9 +347,10 @@ class PEBTree:
         """
         lo = self.codec.compose_quantized(tid, sv_lo_q, z_lo)
         hi = self.codec.compose_quantized(tid, sv_hi_q, z_hi)
+        unpack = self.records.unpack
+        zv_of = self.codec.zv_of
         for key, _, payload in self.btree.scan_range(lo, hi):
-            obj, _ = self.records.unpack(payload)
-            yield self.codec.decompose(key)[2], obj
+            yield zv_of(key), unpack(payload)[0]
 
     def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
         """Yield object states with this exact (quantized) SV and a

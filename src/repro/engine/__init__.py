@@ -5,7 +5,7 @@ pipeline: fetch the issuer's friend list, enlarge the window per live
 time partition (Figure 2), convert it to curve-value windows, scan the
 per-(partition, SV) key bands of the PEB-tree, and locate-and-verify
 each candidate against the policy store.  This package implements that
-pipeline exactly once, in four layers:
+pipeline exactly once, in four layers (plus the write-path twin):
 
 1. :mod:`repro.engine.plan` — the **planner**: query spec in,
    :class:`~repro.engine.plan.QueryPlan` of band requests out, with the
@@ -20,6 +20,11 @@ pipeline exactly once, in four layers:
    per-query results plus :class:`~repro.engine.executor.ExecutionStats`.
 4. :mod:`repro.engine.verify` — the **verifier**: centralizes
    ``position_at`` + ``store.evaluate`` + once-per-user deduplication.
+5. :mod:`repro.engine.updater` — the **update pipeline**: buffers
+   location updates and flushes them as key-sorted, leaf-ordered
+   batches through :meth:`repro.core.peb_tree.PEBTree.update_batch`,
+   amortizing write I/O the way the scanner amortizes reads, and
+   fanning applied states out to continuous-query monitors.
 
 The public query functions (:func:`repro.core.prq.prq`,
 :func:`repro.core.pknn.pknn`, :func:`repro.core.aggregate.pcount`, …)
@@ -41,6 +46,7 @@ from repro.engine.plan import (
     QueryPlanner,
 )
 from repro.engine.scanner import BandScanner
+from repro.engine.updater import UpdateBuffer, UpdatePipeline, UpdateStats
 from repro.engine.verify import CandidateVerifier
 
 __all__ = [
@@ -55,4 +61,7 @@ __all__ = [
     "QueryPlanner",
     "QueryEngine",
     "RangeExecution",
+    "UpdateBuffer",
+    "UpdatePipeline",
+    "UpdateStats",
 ]

@@ -1,0 +1,237 @@
+"""Batch update pipeline (the engine's write path).
+
+The read path amortizes I/O by merging many queries' band scans into
+few physical sweeps; this module is its write-side twin.  Location
+updates are not applied as they arrive — each costing a full
+root-to-leaf descent (two for a moved entry) against whatever page
+happens to be buffered — but accumulate in an :class:`UpdateBuffer`
+and flush as one :meth:`repro.core.peb_tree.PEBTree.update_batch`
+call: the buffered states are partitioned into in-place rewrites and
+moved entries, sorted by PEB-key, and swept leaf-ordered through the
+tree so every op landing in the same leaf shares one descent, one
+page pin, and at most one split or rebalance.
+
+Three pieces, mirroring the scanner/executor split of the read path:
+
+* :class:`UpdateBuffer` — pure accumulation with last-write-wins
+  semantics per user (what a server's update queue does anyway).
+* :class:`UpdatePipeline` — owns a buffer for one tree, decides *when*
+  to flush (buffer full, or an update's time partition rolling over —
+  partition-pure runs are what the sharded multi-tree will route), and
+  fans each applied state out to attached monitors (continuous
+  queries re-registering their tracked motion functions).
+* :class:`UpdateStats` — flush-level accounting symmetric with the
+  read path's :class:`repro.engine.executor.ExecutionStats`: ops,
+  in-place hits, leaf descents saved, physical reads and writes.
+
+Updates applied through the pipeline are observationally identical to
+calling ``tree.update`` per state in arrival order; only the I/O
+schedule changes.  Queries and updates remain phase-separated: flush
+(or close the pipeline) before scanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:
+    from repro.core.peb_tree import PEBTree
+    from repro.motion.objects import MovingObject
+
+
+class UpdateMonitor(Protocol):
+    """Anything that wants to see applied updates (continuous queries)."""
+
+    def refresh(self, obj: "MovingObject") -> bool: ...
+
+
+@dataclass
+class UpdateStats:
+    """Write-path accounting across one pipeline's lifetime.
+
+    Attributes:
+        ops: distinct user states applied (post buffer dedup).
+        in_place_hits: same-key updates served by a leaf rewrite.
+        moved: entries relocated (delete at old key + insert at new).
+        inserted: users indexed for the first time.
+        flushes: batches the buffer released.
+        leaves_visited: leaf visits the batched sweeps paid.
+        descents_saved: root-to-leaf descents one-at-a-time application
+            would have added on top of those visits.
+        physical_reads: pages the buffer pool had to fetch during
+            flushes.
+        physical_writes: pages written back during flushes (dirty
+            evictions; a final pool flush is the harness's business).
+    """
+
+    ops: int = 0
+    in_place_hits: int = 0
+    moved: int = 0
+    inserted: int = 0
+    flushes: int = 0
+    leaves_visited: int = 0
+    descents_saved: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    @property
+    def total_io(self) -> int:
+        """Physical reads plus writes across all flushes."""
+        return self.physical_reads + self.physical_writes
+
+    @property
+    def io_per_update(self) -> float:
+        """Amortized physical I/O per applied update (0.0 when idle)."""
+        if self.ops == 0:
+            return 0.0
+        return self.total_io / self.ops
+
+    @property
+    def in_place_ratio(self) -> float:
+        """Fraction of ops that never left their leaf (0.0 when idle)."""
+        if self.ops == 0:
+            return 0.0
+        return self.in_place_hits / self.ops
+
+
+class UpdateBuffer:
+    """Accumulates pending states with last-write-wins per user."""
+
+    def __init__(self) -> None:
+        self._pending: dict[int, tuple["MovingObject", int]] = {}
+
+    def add(self, obj: "MovingObject", pntp: int = 0) -> None:
+        """Buffer one state; a newer state for the same user wins."""
+        self._pending[obj.uid] = (obj, pntp)
+
+    def drain(self) -> list[tuple["MovingObject", int]]:
+        """Remove and return everything buffered, in arrival order."""
+        drained = list(self._pending.values())
+        self._pending.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._pending
+
+
+class UpdatePipeline:
+    """Buffered, leaf-ordered application of updates to one PEB-tree.
+
+    Args:
+        tree: the index the pipeline writes to.
+        capacity: flush when this many distinct users are buffered.
+        flush_on_rollover: flush the buffer whenever an arriving
+            update's time partition differs from the previous one's, so
+            every batch is partition-pure — the old partition's leaves
+            are swept while still hot, and each flushed run is exactly
+            the per-shard unit a TID-sharded multi-tree would route.
+
+    Usable as a context manager; leaving the ``with`` block flushes.
+    """
+
+    def __init__(
+        self,
+        tree: "PEBTree",
+        capacity: int = 256,
+        flush_on_rollover: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.tree = tree
+        self.capacity = capacity
+        self.flush_on_rollover = flush_on_rollover
+        self.buffer = UpdateBuffer()
+        self.stats = UpdateStats()
+        self._monitors: list[UpdateMonitor] = []
+        self._last_tid: int | None = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, obj: "MovingObject", pntp: int = 0) -> None:
+        """Buffer one update, flushing first if a trigger fires."""
+        if self.flush_on_rollover:
+            tid = self.tree.partitioner.partition(obj.t_update)
+            if self._last_tid is not None and tid != self._last_tid and len(
+                self.buffer
+            ):
+                self.flush()
+            self._last_tid = tid
+        self.buffer.add(obj, pntp)
+        if len(self.buffer) >= self.capacity:
+            self.flush()
+
+    def extend(self, objs: Iterable["MovingObject"]) -> None:
+        """Submit many updates (a drained server queue)."""
+        for obj in objs:
+            self.submit(obj)
+
+    def flush(self) -> int:
+        """Apply everything buffered as one batch; returns ops applied."""
+        batch = self.buffer.drain()
+        if not batch:
+            return 0
+        stats = self.tree.stats
+        reads_before = stats.physical_reads
+        writes_before = stats.physical_writes
+        result = self.tree.update_batch(batch)
+        self.stats.flushes += 1
+        self.stats.ops += result.ops
+        self.stats.in_place_hits += result.in_place
+        self.stats.moved += result.moved
+        self.stats.inserted += result.inserted
+        self.stats.leaves_visited += result.leaves_visited
+        self.stats.descents_saved += result.descents_saved
+        self.stats.physical_reads += stats.physical_reads - reads_before
+        self.stats.physical_writes += stats.physical_writes - writes_before
+        for obj, _ in batch:
+            for monitor in self._monitors:
+                monitor.refresh(obj)
+        return result.ops
+
+    # ------------------------------------------------------------------
+    # Monitors (continuous-query re-registration)
+    # ------------------------------------------------------------------
+
+    def attach_monitor(self, monitor: UpdateMonitor) -> None:
+        """Fan applied updates out to a continuous query's tracker.
+
+        The monitor's ``refresh`` sees every state the pipeline applies
+        (after the flush, so index and tracker agree); monitors ignore
+        users they do not care about, as
+        :meth:`repro.core.continuous.ContinuousPRQ.refresh` does.
+        """
+        if monitor not in self._monitors:
+            self._monitors.append(monitor)
+
+    def detach_monitor(self, monitor: UpdateMonitor) -> bool:
+        """Stop notifying a monitor; True if it was attached."""
+        try:
+            self._monitors.remove(monitor)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Distinct users currently buffered, not yet applied."""
+        return len(self.buffer)
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "UpdatePipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+
+__all__ = ["UpdateBuffer", "UpdateMonitor", "UpdatePipeline", "UpdateStats"]

@@ -80,6 +80,50 @@ class QueryGenerator:
             queries.append(KnnQuerySpec(q_uid=uid, qx=x, qy=y, k=k, t_query=t_query))
         return queries
 
+    def update_stream(
+        self,
+        states: dict[int, MovingObject],
+        count: int,
+        max_speed: float,
+        t_start: float,
+        duration: float,
+    ) -> list[MovingObject]:
+        """A time-ordered re-report stream for the update pipeline.
+
+        ``count`` location updates as a server's queue would receive
+        them: random existing users (with repetition — frequent
+        re-reporters are the norm, and the pipeline's last-write-wins
+        buffer is exactly for them) re-reporting fresh uniform
+        positions and velocities at ascending timestamps drawn from
+        ``[t_start, t_start + duration)``.  A ``duration`` longer than
+        the partitioner's phase makes the stream cross time-partition
+        rollovers mid-run, which is what exercises the pipeline's
+        rollover flush trigger.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if max_speed <= 0:
+            raise ValueError(f"max_speed must be positive, got {max_speed}")
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        uids = sorted(states)
+        times = sorted(
+            self.rng.uniform(t_start, t_start + duration) for _ in range(count)
+        )
+        stream = []
+        for t_update in times:
+            stream.append(
+                MovingObject(
+                    uid=self.rng.choice(uids),
+                    x=self.rng.uniform(0.0, self.space_side),
+                    y=self.rng.uniform(0.0, self.space_side),
+                    vx=self.rng.uniform(-max_speed, max_speed),
+                    vy=self.rng.uniform(-max_speed, max_speed),
+                    t_update=t_update,
+                )
+            )
+        return stream
+
     def mixed_queries(
         self,
         states: dict[int, MovingObject],

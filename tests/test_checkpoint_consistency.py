@@ -1,0 +1,149 @@
+"""Regression tests: checkpoint restore vs the speed-maxima invariant.
+
+``PEBTree.attach`` adopts the checkpoint's ``max_speed_x/y`` verbatim.
+Those maxima feed the Figure 2 window enlargements, so values stale
+relative to the indexed entries (a hand-edited checkpoint, a partial
+restore, metadata from an older snapshot of the same disk) silently
+shrink query windows and drop results.  These tests pin the guard
+rails: ``check_consistency`` detects the divergence, ``repair=True``
+and ``attach(recompute_speeds=True)`` / ``load_peb_tree(...,
+recompute_speeds=True)`` heal it, and a faithful round-trip through
+:mod:`repro.core.checkpoint` is clean.
+"""
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.core.checkpoint import (
+    META_FILE,
+    clone_peb_tree,
+    load_peb_tree,
+    save_peb_tree,
+)
+from repro.core.prq import prq
+from repro.spatial.geometry import Rect
+from tests.test_peb_tree import make_peb, mover
+
+
+def populated_tree(n=12, speed=2.5):
+    tree = make_peb(range(n))
+    for uid in range(n):
+        tree.insert(
+            mover(
+                uid,
+                x=(uid * 83.0) % 1000,
+                y=(uid * 47.0) % 1000,
+                vx=speed if uid == 3 else 0.5,
+                vy=-speed if uid == 7 else 0.25,
+            )
+        )
+    return tree
+
+
+def test_faithful_round_trip_is_consistent(tmp_path):
+    tree = populated_tree()
+    save_peb_tree(tree, str(tmp_path))
+    restored = load_peb_tree(str(tmp_path), buffer_pages=50)
+    assert restored.check_consistency() == []
+    assert restored.max_speed_x == tree.max_speed_x
+    assert restored.max_speed_y == tree.max_speed_y
+    assert list(restored.btree.items()) == list(tree.btree.items())
+
+
+def test_stale_speed_checkpoint_is_detected_and_recomputable(tmp_path):
+    tree = populated_tree(speed=2.5)
+    save_peb_tree(tree, str(tmp_path))
+
+    # Corrupt the checkpoint the realistic way: metadata from before
+    # the fast users were indexed, pages from after.
+    meta_path = os.path.join(str(tmp_path), META_FILE)
+    with open(meta_path, "rb") as handle:
+        meta = json.loads(gzip.decompress(handle.read()))
+    meta["max_speed"] = {"x": 0.1, "y": 0.1}
+    with open(meta_path, "wb") as handle:
+        handle.write(gzip.compress(json.dumps(meta).encode("utf-8")))
+
+    stale = load_peb_tree(str(tmp_path), buffer_pages=50)
+    problems = stale.check_consistency()
+    assert any("max_speed_x" in problem for problem in problems)
+    assert any("max_speed_y" in problem for problem in problems)
+
+    # repair=True raises the maxima to cover the indexed velocities.
+    stale.check_consistency(repair=True)
+    assert stale.check_consistency() == []
+    assert stale.max_speed_x == pytest.approx(2.5)
+    assert stale.max_speed_y == pytest.approx(2.5)
+
+    # The recompute option heals at load time instead.
+    healed = load_peb_tree(str(tmp_path), buffer_pages=50, recompute_speeds=True)
+    assert healed.check_consistency() == []
+    assert healed.max_speed_x == pytest.approx(2.5)
+
+
+def test_stale_speeds_change_query_results_and_recompute_restores_them(tmp_path):
+    """The enlargement hazard made concrete: a fast mover near the
+    window edge is found by the healthy tree, missed by the stale one,
+    and found again after recompute."""
+    tree = make_peb(range(8))
+    # uid 3 races left at speed 8: at t=60 (the label) it sits near
+    # x=519, at query time t=90 near x=279 — inside the window only if
+    # the enlargement accounts for the speed.
+    for uid in range(8):
+        fast = uid == 3
+        tree.insert(
+            mover(
+                uid,
+                x=999.0 if fast else (uid * 29.0) % 250 + 700,
+                y=100.0,
+                vx=-8.0 if fast else 0.0,
+                vy=0.0,
+            )
+        )
+    window = Rect(0.0, 400.0, 0.0, 400.0)
+    issuer = 4  # make_store chains uid -> uid+1, so uid 3's policy names 4
+    healthy = {obj.uid for obj in prq(tree, issuer, window, 90.0).users}
+
+    save_peb_tree(tree, str(tmp_path))
+    meta_path = os.path.join(str(tmp_path), META_FILE)
+    with open(meta_path, "rb") as handle:
+        meta = json.loads(gzip.decompress(handle.read()))
+    meta["max_speed"] = {"x": 0.0, "y": 0.0}
+    with open(meta_path, "wb") as handle:
+        handle.write(gzip.compress(json.dumps(meta).encode("utf-8")))
+
+    stale = load_peb_tree(str(tmp_path), buffer_pages=50)
+    stale_found = {obj.uid for obj in prq(stale, issuer, window, 90.0).users}
+    healed = load_peb_tree(str(tmp_path), buffer_pages=50, recompute_speeds=True)
+    healed_found = {obj.uid for obj in prq(healed, issuer, window, 90.0).users}
+
+    assert 3 in healthy
+    assert 3 not in stale_found  # the silent loss the check guards against
+    assert healed_found == healthy
+
+
+def test_check_consistency_flags_memo_divergence():
+    tree = populated_tree(n=8)
+    # Remove an entry behind the memo's back (index/metadata mismatch).
+    victim = 5
+    key = tree._live_keys[victim]
+    tree.btree.delete(key, victim)
+    problems = tree.check_consistency()
+    assert any(f"memoized user {victim}" in problem for problem in problems)
+    # Memo divergence is never auto-repaired.
+    assert tree.check_consistency(repair=True)
+
+
+def test_clone_is_independent_and_identical():
+    tree = populated_tree()
+    twin = clone_peb_tree(tree, buffer_pages=50)
+    assert list(twin.btree.items()) == list(tree.btree.items())
+    assert twin._live_keys == tree._live_keys
+    assert twin.check_consistency() == []
+    # Divergence after cloning stays local to each copy.
+    twin.update(mover(0, x=999.0, y=999.0, vx=0.0, vy=0.0, t=30.0))
+    assert tree.fetch_all() != twin.fetch_all()
+    tree.btree.check_invariants()
+    twin.btree.check_invariants()

@@ -41,10 +41,11 @@ def test_parser_rejects_unknown_experiment():
 
 
 def test_experiment_names_cover_every_figure():
-    # Figures 11-18 all runnable individually (19 comes via `report`).
-    assert {"fig11a", "fig11b", "fig12", "fig15a", "fig15b", "fig18"} <= set(
-        EXPERIMENTS
-    )
+    # Figures 11-18 all runnable individually (19 comes via `report`),
+    # plus the write-path variant of 18.
+    assert {
+        "fig11a", "fig11b", "fig12", "fig15a", "fig15b", "fig18", "fig18u"
+    } <= set(EXPERIMENTS)
 
 
 def test_demo_runs_and_verifies(capsys):
@@ -165,6 +166,32 @@ def test_cost_model_custom_inputs(capsys):
     assert code == 0
     # theta = 1: Np - Np**theta = 0, so the estimate is the floor of 1.
     assert "1.00" in out
+
+
+def test_experiment_fig18u(monkeypatch, capsys):
+    monkeypatch.setattr(experiments_module, "scale_preset", tiny_preset)
+    code = main(["experiment", "fig18u"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "seq_io" in out
+    assert "batched_io" in out
+    assert "io_reduction" in out
+
+
+def test_batch_update_runs_and_verifies(capsys):
+    code = main(
+        [
+            "batch-update",
+            "--users", "400",
+            "--policies", "6",
+            "--batch-sizes", "16,64",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Batch update pipeline" in out
+    assert "I/O reduction" in out
+    assert "verified identical to sequential" in out
 
 
 def test_batch_query_runs_and_verifies(capsys):

@@ -38,6 +38,30 @@ def test_field_priority_tid_over_sv_over_zv():
     assert c.compose(0, 2.0, 10) > c.compose(0, 2.0, 9)
 
 
+@settings(max_examples=60, deadline=None)
+@given(
+    tid=st.integers(min_value=0, max_value=2),
+    sv_q=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    zv=st.integers(min_value=0, max_value=255),
+)
+def test_zv_of_agrees_with_decompose(tid, sv_q, zv):
+    """The scan hot path's mask extraction equals the full unpack."""
+    c = codec()
+    key = c.compose_quantized(tid, sv_q, zv)
+    assert c.zv_of(key) == zv
+    assert c.zv_of(key) == c.decompose(key)[2]
+
+
+def test_zv_of_on_zv_first_layout():
+    """The ablation codec moves the ZV field; zv_of must follow it."""
+    from repro.core.ablation import ZVFirstKeyCodec
+
+    c = ZVFirstKeyCodec(tid_count=3, sv_bits=16, zv_bits=8, sv_scale=128)
+    key = c.compose_quantized(2, 1234, 200)
+    assert c.zv_of(key) == 200
+    assert c.zv_of(key) == c.decompose(key)[2]
+
+
 def test_quantization_preserves_order():
     c = codec()
     values = [2.0, 2.2, 2.4, 2.6, 2.8, 4.0, 4.6]

@@ -1,0 +1,217 @@
+"""Tests for the engine's batch update pipeline (write path).
+
+Covers the buffer's last-write-wins semantics, the pipeline's two
+flush triggers (capacity and time-partition rollover), its stats
+accounting, the continuous-query monitor fan-out, and the harness
+integration (``apply_update_round(pipeline=...)`` and
+``run_batched_updates``).
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.core.continuous import ContinuousPRQ
+from repro.engine import UpdateBuffer, UpdatePipeline
+from repro.spatial.geometry import Rect
+from repro.workloads.queries import QueryGenerator
+from tests.test_update_batch_property import _twin_trees
+from tests.test_peb_tree import make_peb, mover
+
+
+def test_buffer_last_write_wins():
+    buffer = UpdateBuffer()
+    buffer.add(mover(1, x=10.0), pntp=1)
+    buffer.add(mover(2, x=20.0))
+    buffer.add(mover(1, x=99.0), pntp=3)
+    assert len(buffer) == 2
+    assert 1 in buffer and 2 in buffer
+    drained = buffer.drain()
+    assert len(buffer) == 0
+    by_uid = {obj.uid: (obj, pntp) for obj, pntp in drained}
+    assert by_uid[1][0].x == 99.0
+    assert by_uid[1][1] == 3
+
+
+def test_pipeline_flushes_at_capacity():
+    tree = make_peb(range(10))
+    pipeline = UpdatePipeline(tree, capacity=4, flush_on_rollover=False)
+    for uid in range(3):
+        pipeline.submit(mover(uid, x=uid * 100.0))
+    assert pipeline.pending == 3
+    assert pipeline.stats.flushes == 0
+    pipeline.submit(mover(3, x=300.0))
+    assert pipeline.pending == 0
+    assert pipeline.stats.flushes == 1
+    assert pipeline.stats.ops == 4
+    assert len(tree) == 4
+
+
+def test_pipeline_flushes_on_partition_rollover():
+    tree = make_peb(range(10))  # phase = 60
+    pipeline = UpdatePipeline(tree, capacity=100)
+    pipeline.submit(mover(0, t=10.0))
+    pipeline.submit(mover(1, t=20.0))
+    assert pipeline.stats.flushes == 0
+    # t=70 labels into the next partition: the buffered batch flushes
+    # first, keeping every flushed run partition-pure.
+    pipeline.submit(mover(2, t=70.0))
+    assert pipeline.stats.flushes == 1
+    assert pipeline.stats.ops == 2
+    assert pipeline.pending == 1
+    pipeline.flush()
+    assert len(tree) == 3
+
+
+def test_pipeline_rollover_trigger_can_be_disabled():
+    tree = make_peb(range(10))
+    pipeline = UpdatePipeline(tree, capacity=100, flush_on_rollover=False)
+    pipeline.submit(mover(0, t=10.0))
+    pipeline.submit(mover(1, t=70.0))
+    assert pipeline.stats.flushes == 0
+    assert pipeline.pending == 2
+
+
+def test_pipeline_rejects_bad_capacity():
+    tree = make_peb(range(4))
+    with pytest.raises(ValueError):
+        UpdatePipeline(tree, capacity=0)
+
+
+def test_flush_of_empty_buffer_is_noop():
+    tree = make_peb(range(4))
+    pipeline = UpdatePipeline(tree)
+    assert pipeline.flush() == 0
+    assert pipeline.stats.flushes == 0
+
+
+def test_context_manager_flushes_on_exit():
+    tree = make_peb(range(10))
+    with UpdatePipeline(tree, capacity=100) as pipeline:
+        pipeline.submit(mover(5, x=42.0))
+        assert len(tree) == 0
+    assert len(tree) == 1
+    assert pipeline.pending == 0
+
+
+def test_pipeline_equals_sequential_on_update_stream():
+    """The new workload generator through the pipeline, pinned to
+    one-at-a-time application on a twin tree."""
+    import random
+
+    sequential, batched = _twin_trees()
+    generator = QueryGenerator(1000.0, random.Random(3))
+    states = {obj.uid: obj for obj in sequential.fetch_all()}
+    # Duration > phase: the stream crosses a partition rollover.
+    stream = generator.update_stream(states, 80, 3.0, t_start=0.0, duration=100.0)
+    for obj in stream:
+        sequential.update(obj)
+    pipeline = UpdatePipeline(batched, capacity=16)
+    pipeline.extend(stream)
+    pipeline.flush()
+    assert pipeline.stats.flushes >= 2
+    assert sequential._live_keys == batched._live_keys
+    assert list(sequential.btree.items()) == list(batched.btree.items())
+    sequential.btree.check_invariants()
+    batched.btree.check_invariants()
+    stats = pipeline.stats
+    assert stats.ops == stats.in_place_hits + stats.moved + stats.inserted
+    assert stats.io_per_update >= 0.0
+    assert 0.0 <= stats.in_place_ratio <= 1.0
+
+
+def test_monitor_fanout_keeps_continuous_query_fresh(small_world):
+    """ContinuousPRQ.attach_to: pipeline flushes re-register tracked
+    motion functions without explicit refresh routing."""
+    world = small_world
+    issuer = world.uids[0]
+    friends = [uid for _, uid in world.store.friend_list(issuer)]
+    assert friends, "issuer needs at least one friend"
+    target = friends[0]
+    window = Rect(0.0, 1000.0, 0.0, 1000.0)
+
+    pipeline = UpdatePipeline(world.peb, capacity=4)
+    monitor = ContinuousPRQ(world.peb, issuer, window, t_start=0.0).attach_to(
+        pipeline
+    )
+    before = monitor._tracked.get(target)
+
+    moved = world.states[target].moved_to(500.0, 500.0, 0.0, 0.0, t=30.0)
+    pipeline.submit(moved)
+    assert monitor._tracked.get(target) is before  # not flushed yet
+    pipeline.flush()
+    assert monitor._tracked[target] == moved
+
+    assert pipeline.detach_monitor(monitor) is True
+    assert pipeline.detach_monitor(monitor) is False
+    other = world.states[target].moved_to(1.0, 1.0, 0.0, 0.0, t=40.0)
+    pipeline.submit(other)
+    pipeline.flush()
+    assert monitor._tracked[target] == moved  # detached: unchanged
+    # Leave the session-scoped world as we found it.
+    world.peb.update(world.states[target])
+
+
+def test_monitor_ignores_non_friends(small_world):
+    world = small_world
+    issuer = world.uids[0]
+    friends = {uid for _, uid in world.store.friend_list(issuer)}
+    stranger = next(uid for uid in world.uids if uid not in friends and uid != issuer)
+    pipeline = UpdatePipeline(world.peb, capacity=4)
+    monitor = ContinuousPRQ(
+        world.peb, issuer, Rect(0.0, 1000.0, 0.0, 1000.0), t_start=0.0
+    ).attach_to(pipeline)
+    moved = world.states[stranger].moved_to(500.0, 500.0, 0.0, 0.0, t=30.0)
+    pipeline.submit(moved)
+    pipeline.flush()
+    assert stranger not in monitor._tracked
+    world.peb.update(world.states[stranger])
+
+
+# ----------------------------------------------------------------------
+# Harness integration
+# ----------------------------------------------------------------------
+
+TINY = ExperimentConfig(
+    n_users=400, n_policies=6, n_queries=4, page_size=1024, seed=13
+)
+
+
+def test_apply_update_round_via_pipeline_matches_plain():
+    plain = ExperimentHarness(TINY)
+    piped = ExperimentHarness(TINY)
+    pipeline = UpdatePipeline(piped.peb_tree, capacity=64)
+    for _ in range(2):
+        plain.apply_update_round(0.25)
+        piped.apply_update_round(0.25, pipeline=pipeline)
+    assert plain.peb_tree._live_keys == piped.peb_tree._live_keys
+    assert list(plain.peb_tree.btree.items()) == list(piped.peb_tree.btree.items())
+    piped.peb_tree.btree.check_invariants()
+
+
+def test_apply_update_round_rejects_foreign_pipeline():
+    harness = ExperimentHarness(TINY)
+    other = ExperimentHarness(TINY)
+    pipeline = UpdatePipeline(other.peb_tree)
+    with pytest.raises(ValueError):
+        harness.apply_update_round(0.25, pipeline=pipeline)
+
+
+def test_run_batched_updates_reports_and_preserves_contents():
+    harness = ExperimentHarness(TINY)
+    costs = harness.run_batched_updates(batch_size=32)
+    assert costs.n_updates == 100  # 25% of 400
+    assert costs.batch_size == 32
+    assert costs.sequential_io >= 0.0
+    assert costs.batched_io >= 0.0
+    assert costs.io_reduction > 0.0
+    assert costs.descents_saved >= 0
+    # The measured round really advanced the harness.
+    second = harness.run_batched_updates(batch_size=64)
+    assert second.n_updates == 100
+    harness.peb_tree.btree.check_invariants()
+
+
+def test_run_batched_updates_rejects_bad_batch_size():
+    harness = ExperimentHarness(TINY)
+    with pytest.raises(ValueError):
+        harness.run_batched_updates(batch_size=0)
