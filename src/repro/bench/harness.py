@@ -24,6 +24,7 @@ from repro.core.pknn import pknn
 from repro.core.prq import prq
 from repro.engine import QueryEngine, UpdatePipeline
 from repro.core.sequencing import EncodingReport, assign_sequence_values
+from repro.shard import ShardedPEBTree, ShardedQueryEngine
 from repro.motion.objects import MovingObject
 from repro.motion.partitions import TimePartitioner
 from repro.spatial.curves import make_curve
@@ -177,6 +178,80 @@ class UpdateRoundCosts:
         if self.batched_seconds <= 0:
             return float("inf")
         return self.n_updates / self.batched_seconds
+
+
+@dataclass
+class ShardScalingCosts:
+    """One shard count's sharded-vs-single measurement of one workload.
+
+    Both deployments start from the same population, apply the same
+    update stream through an :class:`repro.engine.UpdatePipeline`, and
+    run the same query batch; per-query results are asserted identical.
+    The single tree keeps the paper's one buffer; each shard owns its
+    own pool of ``shard_buffer_pages`` — added shards add buffer, which
+    is the scale-out story the benchmark quantifies.
+
+    Attributes:
+        n_shards: shard count of the sharded deployment.
+        workload: ``"uniform"`` or ``"hotspot"``.
+        ops_applied: distinct states applied (identical in both modes).
+        n_queries: query batch size.
+        single_update_reads / single_update_writes: physical I/O of the
+            update phase on the single tree (final pool flush included).
+        sharded_update_reads / sharded_update_writes: same, summed over
+            every shard's pool.
+        single_query_reads / sharded_query_reads: physical reads of the
+            query batch.
+        balance_skew: largest shard over the even-split ideal
+            (:attr:`repro.shard.ShardStats.balance_skew`).
+    """
+
+    n_shards: int
+    workload: str
+    ops_applied: int
+    n_queries: int
+    single_update_reads: int
+    single_update_writes: int
+    sharded_update_reads: int
+    sharded_update_writes: int
+    single_query_reads: int
+    sharded_query_reads: int
+    balance_skew: float
+
+    @property
+    def single_ops_per_write(self) -> float:
+        """Update throughput of the single tree: ops per physical write."""
+        if self.single_update_writes <= 0:
+            return float("inf") if self.ops_applied > 0 else 0.0
+        return self.ops_applied / self.single_update_writes
+
+    @property
+    def sharded_ops_per_write(self) -> float:
+        """Update throughput of the sharded deployment."""
+        if self.sharded_update_writes <= 0:
+            return float("inf") if self.ops_applied > 0 else 0.0
+        return self.ops_applied / self.sharded_update_writes
+
+    @property
+    def update_throughput_gain(self) -> float:
+        """Sharded over single ops-per-write (>1 means sharding wins)."""
+        single = self.single_ops_per_write
+        sharded = self.sharded_ops_per_write
+        if single == sharded:
+            return 1.0
+        if single <= 0 or sharded == float("inf"):
+            return float("inf")
+        return sharded / single
+
+    @property
+    def single_query_io(self) -> float:
+        """Physical reads per query, single tree."""
+        return self.single_query_reads / max(1, self.n_queries)
+
+    @property
+    def sharded_query_io(self) -> float:
+        """Physical reads per query, summed across shards."""
+        return self.sharded_query_reads / max(1, self.n_queries)
 
 
 class ExperimentHarness:
@@ -537,6 +612,160 @@ class ExperimentHarness:
             descents_saved=pipeline.stats.descents_saved,
             sequential_seconds=sequential_seconds,
             batched_seconds=batched_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded multi-tree scaling
+    # ------------------------------------------------------------------
+
+    def run_sharded(
+        self,
+        n_shards: int,
+        workload: str = "uniform",
+        n_updates: int | None = None,
+        n_queries: int | None = None,
+        batch_size: int = 256,
+        policy: str = "sv",
+        shard_buffer_pages: int | None = None,
+        parallel_prefetch: bool = False,
+        workload_seed: int = 0,
+    ) -> ShardScalingCosts:
+        """Measure one workload on a sharded deployment vs the single tree.
+
+        One deterministic workload (an update stream followed by a
+        range-query batch, ``workload_seed`` selecting the draw) runs
+        twice from the current population:
+
+        * on a physically identical clone of the harness's PEB-tree
+          with the paper's ``buffer_pages`` buffer, updates through an
+          :class:`repro.engine.UpdatePipeline` and queries through the
+          batch executor;
+        * on a fresh ``n_shards``-shard
+          :class:`repro.shard.ShardedPEBTree` over the same store and
+          states, each shard owning ``shard_buffer_pages`` (default:
+          the same paper-sized buffer per shard — a shard models an
+          added machine), updates through the same pipeline splitting
+          sorted runs at shard boundaries, queries through
+          :class:`repro.shard.ShardedQueryEngine`.
+
+        ``"uniform"`` draws :meth:`QueryGenerator.update_stream` plus
+        uniform windows; ``"hotspot"`` draws the Zipf-skewed
+        :meth:`QueryGenerator.hotspot_stream`.  Per-query result sets
+        are asserted identical — sharding is a deployment change, never
+        an approximation.  The harness's own indexes are untouched.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        count_updates = n_updates if n_updates is not None else len(self.states)
+        count_queries = n_queries if n_queries is not None else self.config.n_queries
+        generator = QueryGenerator(
+            self.config.space_side,
+            random.Random(self.config.seed + 9000 + workload_seed),
+        )
+        duration = self.config.max_update_interval / 2.0
+        if workload == "uniform":
+            updates = generator.update_stream(
+                self.states, count_updates, self.config.max_speed, self.now, duration
+            )
+            queries = generator.range_queries(
+                sorted(self.states),
+                count_queries,
+                self.config.window_side,
+                self.now + duration,
+            )
+        elif workload == "hotspot":
+            updates, queries = generator.hotspot_stream(
+                self.states,
+                count_updates,
+                count_queries,
+                self.config.window_side,
+                self.config.max_speed,
+                self.now,
+                duration,
+            )
+        else:
+            raise ValueError(f"unknown workload {workload!r}")
+
+        # Single-tree reference: a physically identical clone.
+        clone = clone_peb_tree(self.peb_tree, buffer_pages=self.config.buffer_pages)
+        clone.stats.reset()
+        single_pipeline = UpdatePipeline(clone, capacity=batch_size)
+        single_pipeline.extend(updates)
+        single_pipeline.flush()
+        clone.btree.pool.flush()
+        single_update_reads = clone.stats.physical_reads
+        single_update_writes = clone.stats.physical_writes
+        reads_before = clone.stats.physical_reads
+        single_report = QueryEngine(clone).execute_batch(queries)
+        single_query_reads = clone.stats.physical_reads - reads_before
+
+        # Sharded deployment over the same population, built warm then
+        # shrunk to its per-shard query/update buffers.
+        per_shard_pages = (
+            shard_buffer_pages
+            if shard_buffer_pages is not None
+            else self.config.buffer_pages
+        )
+        sharded = ShardedPEBTree.build(
+            n_shards,
+            self.grid,
+            self.partitioner,
+            self.store,
+            uids=sorted(self.states),
+            policy=policy,
+            page_size=self.config.page_size,
+            buffer_pages=self.config.build_buffer_pages,
+            buffer_policy=self.config.buffer_policy,
+        )
+        for uid in sorted(self.states):
+            sharded.insert(self.states[uid])
+        for pool in sharded.pools:
+            # clear(), not just flush(): the clone reference starts
+            # with a cold pool, so the sharded side must too or its
+            # read counts are flattered by build-time residency.
+            pool.clear()
+            pool.resize(per_shard_pages)
+        sharded.stats.reset()
+
+        sharded_pipeline = UpdatePipeline(sharded, capacity=batch_size)
+        sharded_pipeline.extend(updates)
+        sharded_pipeline.flush()
+        for pool in sharded.pools:
+            pool.flush()
+        sharded_update_reads = sharded.stats.physical_reads
+        sharded_update_writes = sharded.stats.physical_writes
+        reads_before = sharded.stats.physical_reads
+        sharded_report = ShardedQueryEngine(
+            sharded, parallel_prefetch=parallel_prefetch
+        ).execute_batch(queries)
+        sharded_query_reads = sharded.stats.physical_reads - reads_before
+
+        if single_pipeline.stats.ops != sharded_pipeline.stats.ops:
+            raise AssertionError(
+                "sharded pipeline applied a different op count "
+                f"({sharded_pipeline.stats.ops} vs {single_pipeline.stats.ops})"
+            )
+        for spec, single, shard in zip(
+            queries, single_report.results, sharded_report.results
+        ):
+            if single.uids != shard.uids:
+                raise AssertionError(
+                    f"sharded result mismatch for {spec}: "
+                    f"single={sorted(single.uids)} sharded={sorted(shard.uids)}"
+                )
+
+        return ShardScalingCosts(
+            n_shards=n_shards,
+            workload=workload,
+            ops_applied=single_pipeline.stats.ops,
+            n_queries=len(queries),
+            single_update_reads=single_update_reads,
+            single_update_writes=single_update_writes,
+            sharded_update_reads=sharded_update_reads,
+            sharded_update_writes=sharded_update_writes,
+            single_query_reads=single_query_reads,
+            sharded_query_reads=sharded_query_reads,
+            balance_skew=sharded.shard_stats().balance_skew,
         )
 
     # ------------------------------------------------------------------

@@ -6,10 +6,12 @@ Six subcommands cover the library's workflows end to end:
   PEB-tree and the spatial-filter baseline, print answers and I/O.
 * ``batch-query`` — run one PRQ workload one-at-a-time and through the
   engine's cross-query band-scan batching, print I/O per query, the
-  dedup ratio, and throughput of both modes.
+  dedup ratio, and throughput of both modes; ``--shards N`` repeats
+  the workload on a sharded multi-tree deployment.
 * ``batch-update`` — apply Figure 18 update rounds one ``update`` at a
   time and through the batch update pipeline, print amortized physical
-  I/O per update and the reduction per batch size.
+  I/O per update and the reduction per batch size; ``--shards N``
+  routes an update stream across a sharded deployment.
 * ``encode`` — generate a policy workload and run a sequence-value
   encoder; prints timing and assignment statistics (the Figure 11
   experiment in miniature, any encoder).
@@ -85,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--theta", type=float, default=0.7)
     batch.add_argument("--window", type=float, default=200.0)
     batch.add_argument("--queries", type=int, default=64)
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="additionally benchmark an N-shard deployment against a "
+        "single-tree clone on a fresh same-shape workload (per-shard "
+        "buffers; results verified identical; 0 disables)",
+    )
     batch.add_argument("--seed", type=int, default=7)
 
     batch_update = subparsers.add_parser(
@@ -99,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="batch_sizes",
         default="64,256,1024",
         help="comma-separated pipeline capacities; one Figure 18 round each",
+    )
+    batch_update.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="additionally route a fresh update stream through an "
+        "N-shard deployment vs a single-tree clone (per-shard buffers; "
+        "end state verified identical; 0 disables)",
     )
     batch_update.add_argument("--seed", type=int, default=7)
 
@@ -235,6 +253,29 @@ def run_batch_query(args) -> int:
     table.add_row("band dedup ratio", "-", f"{costs.dedup_ratio:.3f}")
     table.print()
     print("\nBatched result sets verified identical to sequential. OK")
+
+    if args.shards:
+        sharded = harness.run_sharded(
+            args.shards, workload="uniform", n_queries=args.queries
+        )
+        shard_table = SeriesTable(
+            f"Sharded scatter/gather ({args.shards} shards, "
+            f"{config.buffer_pages} buffer pages per shard)",
+            ["metric", "single tree", f"{args.shards} shards"],
+        )
+        shard_table.add_row(
+            "physical reads / query",
+            f"{sharded.single_query_io:.2f}",
+            f"{sharded.sharded_query_io:.2f}",
+        )
+        shard_table.add_row(
+            "updates applied / physical write",
+            f"{sharded.single_ops_per_write:.2f}",
+            f"{sharded.sharded_ops_per_write:.2f}",
+        )
+        shard_table.add_row("balance skew", "-", f"{sharded.balance_skew:.3f}")
+        shard_table.print()
+        print("\nSharded results verified identical to the single tree. OK")
     return 0
 
 
@@ -277,6 +318,30 @@ def run_batch_update(args) -> int:
         )
     table.print()
     print("\nBatched index contents verified identical to sequential. OK")
+
+    if args.shards:
+        sharded = harness.run_sharded(
+            args.shards, workload="uniform", batch_size=max(batch_sizes)
+        )
+        shard_table = SeriesTable(
+            f"Sharded update routing ({args.shards} shards, "
+            f"{config.buffer_pages} buffer pages per shard)",
+            ["metric", "single tree", f"{args.shards} shards"],
+        )
+        shard_table.add_row("ops applied", sharded.ops_applied, sharded.ops_applied)
+        shard_table.add_row(
+            "physical writes",
+            sharded.single_update_writes,
+            sharded.sharded_update_writes,
+        )
+        shard_table.add_row(
+            "updates applied / physical write",
+            f"{sharded.single_ops_per_write:.2f}",
+            f"{sharded.sharded_ops_per_write:.2f}",
+        )
+        shard_table.add_row("balance skew", "-", f"{sharded.balance_skew:.3f}")
+        shard_table.print()
+        print("\nSharded end state verified identical to the single tree. OK")
     return 0
 
 

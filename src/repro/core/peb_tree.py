@@ -13,8 +13,8 @@ deletes exactly the stale entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.btree.tree import BatchOp, BPlusTree, BTreeConfig
 from repro.core.peb_key import DEFAULT_SV_BITS, DEFAULT_SV_SCALE, PEBKeyCodec
@@ -52,6 +52,83 @@ class BatchUpdateResult:
     @property
     def descents_saved(self) -> int:
         return max(0, self.sequential_descents - self.leaves_visited)
+
+
+@dataclass
+class BatchUpdatePlan:
+    """The classified, key-sorted schedule of one update buffer.
+
+    Produced by :func:`plan_update_batch` and consumed by
+    :meth:`PEBTree.update_batch` (two sweeps over one tree) and the
+    sharded facade (the same sweeps cut at shard-key boundaries) —
+    classification lives in exactly one place so the two application
+    paths cannot drift.
+    """
+
+    result: BatchUpdateResult
+    sweep_old: list[BatchOp] = field(default_factory=list)
+    sweep_new: list[BatchOp] = field(default_factory=list)
+    #: uid -> key the user's entry ends at.
+    new_keys: dict[int, int] = field(default_factory=dict)
+    #: uid -> key the user's entry started at (None for first inserts).
+    old_keys: dict[int, "int | None"] = field(default_factory=dict)
+    max_vx: float = 0.0
+    max_vy: float = 0.0
+
+
+def plan_update_batch(
+    updates: Iterable[UpdateItem],
+    lookup_key: Callable[[int], "int | None"],
+    key_for: Callable[[MovingObject], int],
+    pack: Callable[[MovingObject, int], bytes],
+    max_vx: float,
+    max_vy: float,
+) -> BatchUpdatePlan:
+    """Classify and sort one update buffer into two leaf-ordered sweeps.
+
+    The buffer is deduplicated last-write-wins per user, then each
+    surviving state is partitioned against the live-key ``lookup_key``:
+    same-key re-reports become in-place leaf rewrites, moved entries a
+    delete at the old key plus an insert at the new one, unindexed
+    users plain inserts.  Rewrites and deletes are sorted by old key,
+    inserts by new key.  The speed maxima (seeded with the caller's
+    current bounds) are monotone safety bounds for the Figure 2
+    enlargements: even a state superseded within the batch raises
+    them, exactly as sequential application would.
+    """
+    latest: dict[int, tuple[MovingObject, int]] = {}
+    for item in updates:
+        if isinstance(item, MovingObject):
+            obj, pntp = item, 0
+        else:
+            obj, pntp = item
+        latest[obj.uid] = (obj, pntp)
+        max_vx = max(max_vx, abs(obj.vx))
+        max_vy = max(max_vy, abs(obj.vy))
+
+    plan = BatchUpdatePlan(
+        result=BatchUpdateResult(ops=len(latest)), max_vx=max_vx, max_vy=max_vy
+    )
+    for uid, (obj, pntp) in latest.items():
+        old_key = lookup_key(uid)
+        new_key = key_for(obj)
+        payload = pack(obj, pntp)
+        if old_key is None:
+            plan.sweep_new.append(("insert", new_key, uid, payload))
+            plan.result.inserted += 1
+        elif new_key == old_key:
+            plan.sweep_old.append(("replace", old_key, uid, payload))
+            plan.result.in_place += 1
+        else:
+            plan.sweep_old.append(("delete", old_key, uid, None))
+            plan.sweep_new.append(("insert", new_key, uid, payload))
+            plan.result.moved += 1
+        plan.new_keys[uid] = new_key
+        plan.old_keys[uid] = old_key
+
+    plan.sweep_old.sort(key=lambda op: (op[1], op[2]))
+    plan.sweep_new.sort(key=lambda op: (op[1], op[2]))
+    return plan
 
 
 class PEBTree:
@@ -251,61 +328,35 @@ class PEBTree:
                 user appears more than once, the last state wins (the
                 buffer semantics of a server's update queue).
 
-        The buffer is partitioned against the ``_live_keys`` memo:
-        same-key re-reports become in-place leaf rewrites, moved
-        entries a delete at the old key plus an insert at the new one,
-        unindexed users plain inserts.  Rewrites and deletes are sorted
-        by old key, inserts by new key, and each sorted run feeds
-        :meth:`repro.btree.BPlusTree.apply_sorted_batch`, which applies
-        every op landing in the same leaf during a single visit — one
-        descent and at most one split or rebalance per *leaf* instead
-        of per *op*.  The final index is observationally identical to
-        calling :meth:`update` once per buffered state, in any order.
+        The schedule comes from :func:`plan_update_batch` (shared with
+        the sharded facade): same-key re-reports become in-place leaf
+        rewrites, moved entries a delete at the old key plus an insert
+        at the new one, unindexed users plain inserts; rewrites and
+        deletes sorted by old key, inserts by new key.  Each sorted run
+        feeds :meth:`repro.btree.BPlusTree.apply_sorted_batch`, which
+        applies every op landing in the same leaf during a single visit
+        — one descent and at most one split or rebalance per *leaf*
+        instead of per *op*.  The final index is observationally
+        identical to calling :meth:`update` once per buffered state, in
+        any order.
         """
-        latest: dict[int, tuple[MovingObject, int]] = {}
-        max_vx, max_vy = self.max_speed_x, self.max_speed_y
-        for item in updates:
-            if isinstance(item, MovingObject):
-                obj, pntp = item, 0
-            else:
-                obj, pntp = item
-            latest[obj.uid] = (obj, pntp)
-            # The speed maxima are monotone safety bounds (Figure 2
-            # enlargements): even a state superseded within the batch
-            # raises them, exactly as sequential application would.
-            max_vx = max(max_vx, abs(obj.vx))
-            max_vy = max(max_vy, abs(obj.vy))
-
-        result = BatchUpdateResult(ops=len(latest))
-        sweep_old: list[BatchOp] = []  # in-place rewrites + stale deletes
-        sweep_new: list[BatchOp] = []  # inserts at the new keys
-        new_keys: dict[int, int] = {}
-        for uid, (obj, pntp) in latest.items():
-            old_key = self._live_keys.get(uid)
-            new_key = self.key_for(obj)
-            payload = self.records.pack(obj, pntp)
-            if old_key is None:
-                sweep_new.append(("insert", new_key, uid, payload))
-                result.inserted += 1
-            elif new_key == old_key:
-                sweep_old.append(("replace", old_key, uid, payload))
-                result.in_place += 1
-            else:
-                sweep_old.append(("delete", old_key, uid, None))
-                sweep_new.append(("insert", new_key, uid, payload))
-                result.moved += 1
-            new_keys[uid] = new_key
-
-        sweep_old.sort(key=lambda op: (op[1], op[2]))
-        sweep_new.sort(key=lambda op: (op[1], op[2]))
-        stats_old = self.btree.apply_sorted_batch(sweep_old)
-        stats_new = self.btree.apply_sorted_batch(sweep_new)
-        result.leaves_visited = stats_old.leaves_visited + stats_new.leaves_visited
-
-        self._live_keys.update(new_keys)
-        self.max_speed_x = max_vx
-        self.max_speed_y = max_vy
-        return result
+        plan = plan_update_batch(
+            updates,
+            self._live_keys.get,
+            self.key_for,
+            self.records.pack,
+            self.max_speed_x,
+            self.max_speed_y,
+        )
+        stats_old = self.btree.apply_sorted_batch(plan.sweep_old)
+        stats_new = self.btree.apply_sorted_batch(plan.sweep_new)
+        plan.result.leaves_visited = (
+            stats_old.leaves_visited + stats_new.leaves_visited
+        )
+        self._live_keys.update(plan.new_keys)
+        self.max_speed_x = plan.max_vx
+        self.max_speed_y = plan.max_vy
+        return plan.result
 
     def key_for(self, obj: MovingObject) -> int:
         """The PEB-key for the object's current state (Equation 5)."""

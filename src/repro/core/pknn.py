@@ -36,7 +36,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.bxtree.queries import estimate_knn_distance
 from repro.core.peb_tree import PEBTree
 from repro.engine import BandScanner, CandidateVerifier, QueryPlanner
 from repro.motion.objects import MovingObject
@@ -96,14 +95,11 @@ class _MatrixSearch:
         self.candidates: dict[int, tuple[float, MovingObject]] = {}
         self.result = PKNNResult()
         self.contexts = self.planner.contexts(t_query)
-        # Radius step rq = Dk / k, floored at one grid cell so the round
-        # count stays finite when k/N is tiny.  (k <= 0 short-circuits in
-        # run() before the step is ever used.)
-        if k > 0:
-            step = estimate_knn_distance(k, max(len(tree), 1), tree.grid.space_side)
-            self.rq = max(step / k, tree.grid.cell_size)
-        else:
-            self.rq = tree.grid.cell_size
+        # Radius step rq = Dk / k, shared with the batch executor's
+        # prefetch probe (QueryPlanner.plan_knn_probe) so the probe's
+        # first-round bands are exactly the ones round one requests.
+        # (k <= 0 short-circuits in run() before the step is used.)
+        self.rq = self.planner.knn_step(k) if k > 0 else tree.grid.cell_size
         self.max_rounds = math.ceil(
             tree.grid.space_side * math.sqrt(2.0) / self.rq
         ) + 1

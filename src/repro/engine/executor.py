@@ -37,6 +37,7 @@ from repro.workloads.queries import KnnQuerySpec, RangeQuerySpec
 if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
     from repro.motion.objects import MovingObject
+    from repro.shard.stats import ShardStats
 
 #: Callback invoked per qualifying user with its located position;
 #: returning True stops the scan early (the existential aggregate).
@@ -59,6 +60,9 @@ class ExecutionStats:
         candidates_examined: entries located and verified.
         physical_reads: page-level reads the buffer pool could not
             serve, measured across the execution.
+        shard_stats: per-shard breakdown of this execution's I/O when
+            it ran on a sharded deployment (None on a single tree);
+            entries are point-in-time.
     """
 
     bands_requested: int = 0
@@ -66,6 +70,7 @@ class ExecutionStats:
     bands_deduped: int = 0
     candidates_examined: int = 0
     physical_reads: int = 0
+    shard_stats: "ShardStats | None" = None
 
     @property
     def dedup_ratio(self) -> float:
@@ -232,8 +237,12 @@ class QueryEngine:
         Range plans are static, so their bands are known up front and
         prefetched; the skip rule can only *remove* bands, so the
         prefetched superset is always sufficient.  kNN searches are
-        adaptive and run against the same shared scanner, picking up
-        whatever bands the store and memo already hold.
+        adaptive, but their *first* round is static too — the
+        ``Dk``-estimate square around the query point — so its bands
+        (:meth:`QueryPlanner.plan_knn_probe`) join the prefetch set and
+        concurrent kNN queries share the batch's physical scans instead
+        of joining it only via the scanner memo; later rounds still run
+        adaptively against the same shared scanner.
         """
         # Imported here: repro.core.{prq,pknn} are adapters over this
         # module, so importing them at module scope would cycle.
@@ -241,26 +250,35 @@ class QueryEngine:
         from repro.core.prq import prq_from_plan
 
         plans: list[QueryPlan | None] = []
+        probe_bands: list = []
         for spec in specs:
             if isinstance(spec, RangeQuerySpec):
                 plans.append(self.planner.plan_range(spec.q_uid, spec.window, spec.t_query))
             elif isinstance(spec, KnnQuerySpec):
                 plans.append(None)
+                if prefetch and spec.k > 0:
+                    probe_bands.extend(
+                        self.planner.plan_knn_probe(
+                            spec.q_uid, spec.qx, spec.qy, spec.k, spec.t_query
+                        )
+                    )
             else:
                 raise TypeError(
                     f"unsupported query spec {spec!r}; expected "
                     "RangeQuerySpec or KnnQuerySpec"
                 )
 
-        scanner = BandScanner(self.tree)
+        scanner = self._batch_scanner()
         reads_before = self.tree.stats.physical_reads
         if prefetch:
-            scanner.prefetch(
-                planned.band
-                for plan in plans
-                if plan is not None
-                for planned in plan.bands
-            )
+            def merged_bands():
+                for plan in plans:
+                    if plan is not None:
+                        for planned in plan.bands:
+                            yield planned.band
+                yield from probe_bands
+
+            scanner.prefetch(merged_bands())
 
         report = BatchReport()
         for spec, plan in zip(specs, plans):
@@ -284,7 +302,22 @@ class QueryEngine:
         report.stats.bands_scanned = scanner.physical_scans
         report.stats.bands_deduped = scanner.deduped
         report.stats.physical_reads = self.tree.stats.physical_reads - reads_before
+        self._finish_batch_stats(report)
         return report
+
+    def _batch_scanner(self):
+        """The shared scanner one batch execution uses (override point).
+
+        The sharded engine substitutes a scatter/gather scanner that
+        routes each band to its owning shards; everything else about
+        batch execution — planning, replay order, skip rules — is
+        identical, which is what keeps sharded results pinned to the
+        single-tree path.
+        """
+        return BandScanner(self.tree)
+
+    def _finish_batch_stats(self, report: BatchReport) -> None:
+        """Attach deployment-specific stats to a finished batch (hook)."""
 
 
 __all__ = [

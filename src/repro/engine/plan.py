@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.bxtree.queries import enlargement_for_label
+from repro.bxtree.queries import enlargement_for_label, estimate_knn_distance
 from repro.spatial.geometry import Rect
 
 if TYPE_CHECKING:
@@ -145,6 +145,24 @@ class QueryPlanner:
         sv_q = self.tree.codec.quantize_sv(sv)
         return BandRequest(tid=tid, sv_lo_q=sv_q, sv_hi_q=sv_q, z_lo=z_lo, z_hi=z_hi)
 
+    def knn_step(self, k: int) -> float:
+        """The PkNN radius step ``rq = Dk / k`` (Section 5.4).
+
+        ``Dk`` is the estimated k-th-neighbour distance of Tao et
+        al. [33]; the step is floored at one grid cell so the round
+        count stays finite when ``k / N`` is tiny.  Single source of
+        the value for the adaptive matrix search *and* the batch
+        prefetch probe below — the probe is only a prefetch hint, but
+        it must name the exact bands round one will request or the
+        prefetch store never serves them.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        step = estimate_knn_distance(
+            k, max(len(self.tree), 1), self.tree.grid.space_side
+        )
+        return max(step / k, self.tree.grid.cell_size)
+
     # ------------------------------------------------------------------
     # Plans
     # ------------------------------------------------------------------
@@ -212,6 +230,36 @@ class QueryPlanner:
             bands=bands,
             window=window,
         )
+
+    def plan_knn_probe(
+        self, q_uid: int, qx: float, qy: float, k: int, t_query: float
+    ) -> list[BandRequest]:
+        """The band requests of a PkNN search's *first* round.
+
+        The adaptive matrix search (:mod:`repro.core.pknn`) cannot be
+        planned statically — later rounds depend on scan results — but
+        its first column is: the square of half-side ``rq`` around the
+        query point, enlarged per live partition, one band per
+        (partition, friend).  The batch executor adds these to the
+        cross-query prefetch set so concurrent kNN queries share
+        physical scans with the whole batch instead of joining it only
+        via the scanner memo.  A probe is a prefetch superset hint:
+        bands the search never requests cost prefetch I/O but can
+        never change results.
+        """
+        friends = self.friends(q_uid)
+        if not friends or k <= 0:
+            return []
+        square = Rect.from_center(qx, qy, self.knn_step(k))
+        bands: list[BandRequest] = []
+        for context in self.contexts(t_query):
+            span = self.tree.grid.z_span(context.enlarged(square))
+            if span is None:
+                continue
+            z_lo, z_hi = span
+            for sv, _ in friends:
+                bands.append(self.band(context.tid, sv, z_lo, z_hi))
+        return bands
 
     def plan_seed(self, q_uid: int) -> QueryPlan:
         """Plan a whole-space sweep of every friend's SV band.

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol
 if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
     from repro.motion.objects import MovingObject
+    from repro.shard.stats import ShardStats
 
 
 class UpdateMonitor(Protocol):
@@ -63,6 +64,9 @@ class UpdateStats:
             flushes.
         physical_writes: pages written back during flushes (dirty
             evictions; a final pool flush is the harness's business).
+        shard_stats: per-shard I/O since the pipeline's first flush
+            when it writes to a sharded deployment (None on a single
+            tree); entries are point-in-time.
     """
 
     ops: int = 0
@@ -74,6 +78,7 @@ class UpdateStats:
     descents_saved: int = 0
     physical_reads: int = 0
     physical_writes: int = 0
+    shard_stats: "ShardStats | None" = None
 
     @property
     def total_io(self) -> int:
@@ -148,6 +153,7 @@ class UpdatePipeline:
         self.stats = UpdateStats()
         self._monitors: list[UpdateMonitor] = []
         self._last_tid: int | None = None
+        self._shard_stats_base = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -179,6 +185,11 @@ class UpdatePipeline:
         stats = self.tree.stats
         reads_before = stats.physical_reads
         writes_before = stats.physical_writes
+        shard_stats = getattr(self.tree, "shard_stats", None)
+        if callable(shard_stats) and self._shard_stats_base is None:
+            # Baseline the per-shard counters before the first flush so
+            # the attached breakdown covers exactly this pipeline's I/O.
+            self._shard_stats_base = shard_stats()
         result = self.tree.update_batch(batch)
         self.stats.flushes += 1
         self.stats.ops += result.ops
@@ -189,6 +200,8 @@ class UpdatePipeline:
         self.stats.descents_saved += result.descents_saved
         self.stats.physical_reads += stats.physical_reads - reads_before
         self.stats.physical_writes += stats.physical_writes - writes_before
+        if callable(shard_stats):
+            self.stats.shard_stats = shard_stats().delta_from(self._shard_stats_base)
         for obj, _ in batch:
             for monitor in self._monitors:
                 monitor.refresh(obj)

@@ -1,0 +1,38 @@
+"""Sharded multi-tree deployments of the PEB-tree index.
+
+The single PEB-tree caps throughput at one buffer pool and one descent
+path no matter how many concurrent issuers the engine batches.  This
+package partitions the ``TID ⊕ SV ⊕ ZV`` key space across N independent
+:class:`repro.core.peb_tree.PEBTree` instances — each with its own
+buffer pool and disk — and keeps every observable output identical to
+the single tree:
+
+* :class:`~repro.shard.router.ShardRouter` — pure key-space policy:
+  SV-range partitioning (default; a user's shard never changes) or
+  TID-range, band splitting at boundary keys, order-preserving
+  sorted-run splitting.
+* :class:`~repro.shard.tree.ShardedPEBTree` — the deployment facade:
+  duck-types the single tree for the engine and update pipeline,
+  scatter-scans bands, cuts the updater's globally sorted sweeps into
+  per-shard ready-to-apply runs, merges I/O counters into one live
+  :class:`repro.storage.stats.StatsView`.
+* :class:`~repro.shard.engine.ShardedQueryEngine` — scatter/gather
+  batch execution with per-shard prefetching (sequential or
+  thread-pooled) through the inherited executor and verifier.
+* :class:`~repro.shard.stats.ShardStats` — per-shard entry/I/O
+  breakdown and balance skew, surfaced on ``ExecutionStats`` /
+  ``UpdateStats``.
+"""
+
+from repro.shard.engine import ShardScatterScanner, ShardedQueryEngine
+from repro.shard.router import ShardRouter
+from repro.shard.stats import ShardStats
+from repro.shard.tree import ShardedPEBTree
+
+__all__ = [
+    "ShardRouter",
+    "ShardScatterScanner",
+    "ShardStats",
+    "ShardedPEBTree",
+    "ShardedQueryEngine",
+]

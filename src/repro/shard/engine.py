@@ -1,0 +1,184 @@
+"""Scatter/gather query execution over a sharded deployment.
+
+:class:`ShardedQueryEngine` is :class:`repro.engine.QueryEngine` with
+one substitution: the batch scanner.  Planning, replay order, skip
+rules, and verification are inherited unchanged — which is precisely
+what keeps sharded results (and ``candidates_examined``) pinned to the
+single-tree engine.  The substituted
+:class:`ShardScatterScanner` keeps one
+:class:`repro.engine.scanner.BandScanner` per shard and:
+
+* **scatters** every band request to its owning shards
+  (:meth:`repro.shard.router.ShardRouter.split_band`, cutting
+  boundary-straddling bands at the boundary key),
+* runs each shard's **prefetch** against that shard's own tree and
+  pool — sequentially by default, or concurrently via a
+  ``ThreadPoolExecutor`` fast path (shards share no mutable state:
+  separate trees, pools, disks, and counter bundles, and the shared
+  store/grid/codec are read-only during queries),
+* **gathers** sub-scans back in ascending shard order, which inside a
+  time partition is ascending key order, so a replayed band is
+  byte-identical to a single tree's scan.
+
+Every query then flows through the inherited executor and the
+existing verifier; per-shard breakdowns land on
+:attr:`repro.engine.executor.ExecutionStats.shard_stats`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from repro.engine.executor import BatchReport, QueryEngine
+from repro.engine.plan import BandRequest
+from repro.engine.scanner import BandScanner
+from repro.shard.tree import ShardedPEBTree
+
+
+class ShardScatterScanner:
+    """Routes band requests to per-shard scanners; duck-types one scanner.
+
+    One instance defines one deduplication scope, exactly like a
+    :class:`BandScanner`: the single-query paths create one per query,
+    the batch executor shares one across the whole batch.
+
+    Attributes:
+        requests: band requests received via :meth:`scan` (the
+            scatter-level count the executor reports).
+        parallel: run per-shard prefetches on a thread pool.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedPEBTree,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ):
+        self.tree = sharded
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.scanners = [BandScanner(tree) for tree in sharded.trees]
+        self.requests = 0
+        self._parts_memo: dict[tuple, list] = {}
+
+    # ------------------------------------------------------------------
+    # Aggregated counters (the executor's reporting surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def physical_scans(self) -> int:
+        """Scans that reached any shard tree (prefetch merges included)."""
+        return sum(scanner.physical_scans for scanner in self.scanners)
+
+    @property
+    def memo_hits(self) -> int:
+        return sum(scanner.memo_hits for scanner in self.scanners)
+
+    @property
+    def store_hits(self) -> int:
+        return sum(scanner.store_hits for scanner in self.scanners)
+
+    @property
+    def deduped(self) -> int:
+        """Sub-requests served without a physical scan."""
+        return self.memo_hits + self.store_hits
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+
+    def _split(self, band: BandRequest) -> list:
+        parts = self._parts_memo.get(band.key)
+        if parts is None:
+            parts = self.tree.router.split_band(band)
+            self._parts_memo[band.key] = parts
+        return parts
+
+    def scan(self, band: BandRequest) -> list:
+        """All entries of one band, gathered across shards in key order."""
+        self.requests += 1
+        parts = self._split(band)
+        if len(parts) == 1:
+            shard, sub = parts[0]
+            return self.scanners[shard].scan(sub)
+        rows: list = []
+        for shard, sub in parts:
+            rows.extend(self.scanners[shard].scan(sub))
+        return rows
+
+    def prefetch(self, bands: Iterable[BandRequest]) -> None:
+        """Scatter the batch's merged bands; prefetch each shard once.
+
+        Per-shard prefetching inherits all of
+        :meth:`BandScanner.prefetch`'s semantics (single-SV grouping,
+        interval merging, the SV-major layout guard).  With
+        :attr:`parallel` set and more than one shard involved, the
+        per-shard prefetches run concurrently — they touch disjoint
+        trees, pools, and counters, so the resulting stores and I/O
+        counts are identical to the sequential path.
+        """
+        per_shard: dict[int, list[BandRequest]] = {}
+        for band in bands:
+            for shard, sub in self._split(band):
+                per_shard.setdefault(shard, []).append(sub)
+        jobs = sorted(per_shard.items())
+        if self.parallel and len(jobs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers or len(jobs)
+            ) as pool:
+                futures = [
+                    pool.submit(self.scanners[shard].prefetch, subs)
+                    for shard, subs in jobs
+                ]
+                for future in futures:
+                    future.result()
+        else:
+            for shard, subs in jobs:
+                self.scanners[shard].prefetch(subs)
+
+
+class ShardedQueryEngine(QueryEngine):
+    """The unified query engine over a sharded deployment.
+
+    Single-query execution works through the inherited paths (the
+    facade's ``scan_band`` routes each band); batch execution swaps in
+    the scatter scanner so prefetching happens per shard, optionally on
+    a thread pool.
+
+    Args:
+        sharded: the deployment to query.
+        parallel_prefetch: run per-shard batch prefetches concurrently.
+        max_workers: thread-pool size cap (defaults to one per
+            involved shard).
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedPEBTree,
+        parallel_prefetch: bool = False,
+        max_workers: int | None = None,
+    ):
+        super().__init__(sharded)
+        self.parallel_prefetch = parallel_prefetch
+        self.max_workers = max_workers
+
+    def _batch_scanner(self) -> ShardScatterScanner:
+        # The scanner hook runs at the start of every batch: the right
+        # moment to baseline the per-shard counters, so the ShardStats
+        # attached at the end describes *this* batch's I/O and sums to
+        # the delta counters it rides with.
+        self._batch_stats_before = self.tree.shard_stats()
+        return ShardScatterScanner(
+            self.tree,
+            parallel=self.parallel_prefetch,
+            max_workers=self.max_workers,
+        )
+
+    def _finish_batch_stats(self, report: BatchReport) -> None:
+        report.stats.shard_stats = self.tree.shard_stats().delta_from(
+            self._batch_stats_before
+        )
+
+
+__all__ = ["ShardScatterScanner", "ShardedQueryEngine"]

@@ -1,0 +1,107 @@
+"""Per-shard accounting for the sharded multi-tree deployment.
+
+A sharded deployment spreads one logical PEB-tree index across several
+physical trees, each with its own buffer pool and disk.  The merged I/O
+counters (:class:`repro.storage.stats.StatsView`) answer "what did the
+deployment cost"; :class:`ShardStats` answers "how evenly" — the entry
+and I/O distribution across shards, and the balance skew that tells an
+operator when a partitioning policy has collapsed onto a hot shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """A point-in-time per-shard breakdown of one sharded deployment.
+
+    All tuples are indexed by shard, in router order.
+
+    ``entries`` is always point-in-time.  The I/O tuples are cumulative
+    pool counters when taken via
+    :meth:`repro.shard.tree.ShardedPEBTree.shard_stats`, or the I/O of
+    one measured span when produced by :meth:`delta_from` — which is
+    how the engine and update pipeline attach them to
+    ``ExecutionStats`` / ``UpdateStats``, so the breakdown sums to the
+    sibling delta counters it rides with.
+
+    Attributes:
+        entries: indexed user entries per shard.
+        physical_reads: physical page reads per shard's pool.
+        physical_writes: physical page writes per shard's pool.
+    """
+
+    entries: tuple[int, ...]
+    physical_reads: tuple[int, ...]
+    physical_writes: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.entries:
+            raise ValueError("ShardStats needs at least one shard")
+        if not (
+            len(self.entries) == len(self.physical_reads) == len(self.physical_writes)
+        ):
+            raise ValueError("per-shard tuples must have equal length")
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.physical_reads)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.physical_writes)
+
+    @property
+    def balance_skew(self) -> float:
+        """Largest shard's entry count over the even-split ideal.
+
+        1.0 is a perfectly balanced deployment; N is everything on one
+        of N shards.  An empty deployment reports 1.0 — no data, no
+        imbalance.
+        """
+        total = self.total_entries
+        if total == 0:
+            return 1.0
+        return max(self.entries) / (total / self.n_shards)
+
+    def delta_from(self, before: "ShardStats") -> "ShardStats":
+        """The I/O accrued since ``before``; entries stay point-in-time."""
+        if before.n_shards != self.n_shards:
+            raise ValueError(
+                f"cannot delta {self.n_shards}-shard stats from "
+                f"{before.n_shards}-shard stats"
+            )
+        return ShardStats(
+            entries=self.entries,
+            physical_reads=tuple(
+                now - then
+                for now, then in zip(self.physical_reads, before.physical_reads)
+            ),
+            physical_writes=tuple(
+                now - then
+                for now, then in zip(self.physical_writes, before.physical_writes)
+            ),
+        )
+
+    def snapshot(self) -> dict:
+        """JSON-ready form for benchmark reports."""
+        return {
+            "n_shards": self.n_shards,
+            "entries": list(self.entries),
+            "physical_reads": list(self.physical_reads),
+            "physical_writes": list(self.physical_writes),
+            "balance_skew": self.balance_skew,
+        }
+
+
+__all__ = ["ShardStats"]

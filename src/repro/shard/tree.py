@@ -1,0 +1,354 @@
+"""The sharded multi-tree deployment: N PEB-trees behind one facade.
+
+:class:`ShardedPEBTree` spreads one logical index across several
+:class:`repro.core.peb_tree.PEBTree` instances, each with its own
+buffer pool and simulated disk, partitioned by a
+:class:`repro.shard.router.ShardRouter`.  The facade duck-types the
+single tree everywhere the engine touches one — ``scan_band``,
+``update_batch``, ``insert``, ``stats``, the planner's shared geometry
+(``grid`` / ``partitioner`` / ``store`` / ``codec`` / speed maxima) —
+so :class:`repro.engine.QueryEngine`, the batch executor, and
+:class:`repro.engine.UpdatePipeline` run unchanged on a sharded
+deployment, observationally identical to a single tree.
+
+Read path: a band request is split at shard boundaries and the owning
+shards' scans concatenated in key order.  Write path: the facade plans
+a batch exactly as :meth:`PEBTree.update_batch` does — dedup, classify
+against the live-key memos, sort the two sweeps globally — then cuts
+each sorted run at shard-key boundaries (one stable pass, order
+preserved) and hands every shard a ready-to-apply sorted run for
+:meth:`repro.btree.BPlusTree.apply_sorted_batch`.  No re-sorting, and
+each shard's sweep touches only its own pool, so per-shard application
+is embarrassingly parallel (the read side already exploits this; see
+:class:`repro.shard.engine.ShardedQueryEngine`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.peb_key import DEFAULT_SV_BITS, DEFAULT_SV_SCALE, PEBKeyCodec
+from repro.core.peb_tree import (
+    BatchUpdateResult,
+    PEBTree,
+    UpdateItem,
+    plan_update_batch,
+)
+from repro.engine.plan import BandRequest
+from repro.motion.objects import MovingObject
+from repro.shard.router import ShardRouter
+from repro.shard.stats import ShardStats
+from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.stats import StatsView
+
+if TYPE_CHECKING:
+    from repro.motion.partitions import TimePartitioner
+    from repro.policy.store import PolicyStore
+    from repro.spatial.grid import Grid
+
+
+class ShardedPEBTree:
+    """One logical PEB-tree index over N physical shard trees.
+
+    Args:
+        trees: the shard trees, in router order.  All must share the
+            same policy store, grid, partitioner, and codec geometry —
+            a key composed by one shard must mean the same thing in
+            every other.
+        router: the key-space partitioning.
+    """
+
+    def __init__(self, trees: Sequence[PEBTree], router: ShardRouter):
+        if len(trees) != router.n_shards:
+            raise ValueError(
+                f"router expects {router.n_shards} shards, got {len(trees)} trees"
+            )
+        first = trees[0]
+        for tree in trees[1:]:
+            if (
+                tree.store is not first.store
+                or tree.grid is not first.grid
+                or tree.partitioner is not first.partitioner
+                or tree.codec != first.codec
+            ):
+                raise ValueError(
+                    "shard trees must share store, grid, partitioner, and codec"
+                )
+        if first.codec != router.codec:
+            raise ValueError("router codec differs from the shard trees' codec")
+        self.trees = tuple(trees)
+        self.router = router
+        self._stats = BufferPool.merged_stats(tree.btree.pool for tree in self.trees)
+
+    @classmethod
+    def build(
+        cls,
+        n_shards: int,
+        grid: "Grid",
+        partitioner: "TimePartitioner",
+        store: "PolicyStore",
+        uids: Iterable[int],
+        policy: str = "sv",
+        page_size: int = 4096,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        buffer_policy: str = "lru",
+        sv_bits: int = DEFAULT_SV_BITS,
+        sv_scale: int = DEFAULT_SV_SCALE,
+    ) -> "ShardedPEBTree":
+        """An empty deployment: N fresh trees, each on its own disk.
+
+        ``uids`` seeds the router's balance-aware boundaries (SV
+        quantiles of the population under the ``"sv"`` policy); it does
+        *not* insert anything.
+        """
+        codec = PEBKeyCodec(
+            tid_count=partitioner.num_partitions,
+            sv_bits=sv_bits,
+            zv_bits=grid.zv_bits,
+            sv_scale=sv_scale,
+        )
+        router = ShardRouter.for_store(n_shards, codec, store, uids, policy)
+        trees = [
+            PEBTree(
+                BufferPool(
+                    SimulatedDisk(page_size=page_size),
+                    capacity=buffer_pages,
+                    policy=buffer_policy,
+                ),
+                grid,
+                partitioner,
+                store,
+                sv_bits=sv_bits,
+                sv_scale=sv_scale,
+            )
+            for _ in range(n_shards)
+        ]
+        return cls(trees, router)
+
+    # ------------------------------------------------------------------
+    # Shared geometry (the planner's and scanner's view of "the tree")
+    # ------------------------------------------------------------------
+
+    @property
+    def grid(self):
+        return self.trees[0].grid
+
+    @property
+    def partitioner(self):
+        return self.trees[0].partitioner
+
+    @property
+    def store(self):
+        return self.trees[0].store
+
+    @property
+    def codec(self):
+        return self.trees[0].codec
+
+    @property
+    def records(self):
+        return self.trees[0].records
+
+    @property
+    def max_speed_x(self) -> float:
+        """Greatest |vx| the deployment has seen (Figure 2 input)."""
+        return max(tree.max_speed_x for tree in self.trees)
+
+    @property
+    def max_speed_y(self) -> float:
+        return max(tree.max_speed_y for tree in self.trees)
+
+    @property
+    def pools(self) -> tuple[BufferPool, ...]:
+        """Every shard's buffer pool, in router order."""
+        return tuple(tree.btree.pool for tree in self.trees)
+
+    @property
+    def stats(self) -> StatsView:
+        """One live merged I/O counter view over every shard's pool."""
+        return self._stats
+
+    def shard_stats(self) -> ShardStats:
+        """Point-in-time per-shard entry and I/O breakdown."""
+        return ShardStats(
+            entries=tuple(len(tree) for tree in self.trees),
+            physical_reads=tuple(tree.stats.physical_reads for tree in self.trees),
+            physical_writes=tuple(tree.stats.physical_writes for tree in self.trees),
+        )
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def _locate(self, uid: int) -> tuple[int, int] | tuple[None, None]:
+        """``(shard, live_key)`` of an indexed user, or ``(None, None)``."""
+        for shard, tree in enumerate(self.trees):
+            key = tree._live_keys.get(uid)
+            if key is not None:
+                return shard, key
+        return None, None
+
+    def _lookup_key(self, uid: int) -> int | None:
+        """The user's current key wherever it lives (the merged memo)."""
+        for tree in self.trees:
+            key = tree._live_keys.get(uid)
+            if key is not None:
+                return key
+        return None
+
+    def contains(self, uid: int) -> bool:
+        return any(uid in tree._live_keys for tree in self.trees)
+
+    def __len__(self) -> int:
+        return sum(len(tree) for tree in self.trees)
+
+    def live_keys(self) -> dict[int, int]:
+        """The merged update memo (uid -> current key) across shards."""
+        merged: dict[int, int] = {}
+        for tree in self.trees:
+            merged.update(tree._live_keys)
+        return merged
+
+    def key_for(self, obj: MovingObject) -> int:
+        """The PEB-key for the object's current state (Equation 5)."""
+        return self.trees[0].key_for(obj)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, obj: MovingObject, pntp: int = 0) -> None:
+        """Index a user's state in its key's owning shard."""
+        if self.contains(obj.uid):
+            raise KeyError(f"user {obj.uid} is already indexed; use update()")
+        shard = self.router.shard_of_key(self.key_for(obj))
+        self.trees[shard].insert(obj, pntp)
+
+    def delete(self, uid: int) -> bool:
+        """Remove a user's entry; True if the user was indexed."""
+        shard, _ = self._locate(uid)
+        if shard is None:
+            return False
+        return self.trees[shard].delete(uid)
+
+    def update(self, obj: MovingObject, pntp: int = 0) -> None:
+        """Replace a user's entry (single-state batch; same semantics)."""
+        self.update_batch([(obj, pntp)])
+
+    def update_batch(self, updates: Iterable[UpdateItem]) -> BatchUpdateResult:
+        """Apply a buffer of updates as per-shard leaf-ordered sweeps.
+
+        The classification and the two-sweep schedule come from the
+        same :func:`repro.core.peb_tree.plan_update_batch` the single
+        tree uses — only the live-key lookup spans shards.  The final
+        hop differs: each globally sorted run is cut at shard-key
+        boundaries (:meth:`ShardRouter.split_sorted_run`, order
+        preserved, no re-sort) and applied per shard.  Under the SV
+        policy a user's shard never changes, so every move stays
+        shard-local; under the TID policy a rollover migrates the entry
+        — the delete lands in the old key's shard, the insert in the
+        new key's, and the memos move accordingly.  The merged result
+        and the final ``fetch_all`` state are observationally identical
+        to a single tree applying the same buffer.
+        """
+        plan = plan_update_batch(
+            updates,
+            self._lookup_key,
+            self.key_for,
+            self.records.pack,
+            self.max_speed_x,
+            self.max_speed_y,
+        )
+        result = plan.result
+        for shard, run in self.router.split_sorted_run(plan.sweep_old):
+            stats = self.trees[shard].btree.apply_sorted_batch(run)
+            result.leaves_visited += stats.leaves_visited
+        for shard, run in self.router.split_sorted_run(plan.sweep_new):
+            stats = self.trees[shard].btree.apply_sorted_batch(run)
+            result.leaves_visited += stats.leaves_visited
+
+        for uid, new_key in plan.new_keys.items():
+            old_key = plan.old_keys[uid]
+            if old_key == new_key:
+                continue  # in-place rewrite; the memo is already right
+            if old_key is not None:
+                del self.trees[self.router.shard_of_key(old_key)]._live_keys[uid]
+            self.trees[self.router.shard_of_key(new_key)]._live_keys[uid] = new_key
+        for tree in self.trees:
+            # Raised to the deployment-wide bound so each shard stays
+            # individually consistent (larger maxima are always safe).
+            tree.max_speed_x = max(tree.max_speed_x, plan.max_vx)
+            tree.max_speed_y = max(tree.max_speed_y, plan.max_vy)
+        return result
+
+    # ------------------------------------------------------------------
+    # Scan primitives (the engine's view)
+    # ------------------------------------------------------------------
+
+    def scan_band(self, tid: int, sv_lo_q: int, sv_hi_q: int, z_lo: int, z_hi: int):
+        """Yield ``(zv, object)`` for one band, scattered across shards.
+
+        Sub-scans run in ascending shard order, which inside one TID is
+        ascending key order — concatenation reproduces a single tree's
+        scan exactly, boundary-straddling bands included.
+        """
+        band = BandRequest(tid, sv_lo_q, sv_hi_q, z_lo, z_hi)
+        for shard, sub in self.router.split_band(band):
+            yield from self.trees[shard].scan_band(
+                sub.tid, sub.sv_lo_q, sub.sv_hi_q, sub.z_lo, sub.z_hi
+            )
+
+    def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
+        """Single-SV convenience scan, mirroring the single tree's."""
+        sv_q = self.codec.quantize_sv(sv)
+        for _, obj in self.scan_band(tid, sv_q, sv_q, z_lo, z_hi):
+            yield obj
+
+    def items(self):
+        """Every ``(key, uid, payload)`` entry merged in global key order."""
+        return heapq.merge(
+            *(tree.btree.items() for tree in self.trees),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+
+    def fetch_all(self) -> list[MovingObject]:
+        """Every indexed object state, in global key order."""
+        records = self.records
+        return [records.unpack(payload)[0] for _, _, payload in self.items()]
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+
+    def check_consistency(self, repair: bool = False) -> list[str]:
+        """Per-shard audits plus cross-shard ownership checks."""
+        problems: list[str] = []
+        for shard, tree in enumerate(self.trees):
+            problems.extend(
+                f"shard {shard}: {problem}"
+                for problem in tree.check_consistency(repair=repair)
+            )
+        seen: dict[int, int] = {}
+        for shard, tree in enumerate(self.trees):
+            for uid, key in tree._live_keys.items():
+                if uid in seen:
+                    problems.append(
+                        f"user {uid} owned by shards {seen[uid]} and {shard}"
+                    )
+                elif self.router.shard_of_key(key) != shard:
+                    problems.append(
+                        f"user {uid} lives in shard {shard} but key {key} "
+                        f"routes to shard {self.router.shard_of_key(key)}"
+                    )
+                seen[uid] = shard
+        return problems
+
+    def check_invariants(self) -> None:
+        """Structural B+-tree invariants, every shard."""
+        for tree in self.trees:
+            tree.btree.check_invariants()
+
+
+__all__ = ["ShardedPEBTree"]

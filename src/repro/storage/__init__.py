@@ -32,7 +32,7 @@ from repro.storage.faults import (
 from repro.storage.page import PageSerializer
 from repro.storage.persistence import SnapshotError, load_disk, save_disk, save_pool
 from repro.storage.replacement import POLICIES, make_policy
-from repro.storage.stats import IOStats
+from repro.storage.stats import IOStats, StatsView, merge_stats
 
 __all__ = [
     "PAGE_SIZE",
@@ -46,8 +46,10 @@ __all__ = [
     "PageSerializer",
     "SimulatedDisk",
     "SnapshotError",
+    "StatsView",
     "load_disk",
     "make_policy",
+    "merge_stats",
     "save_disk",
     "save_pool",
 ]

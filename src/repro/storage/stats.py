@@ -1,8 +1,17 @@
-"""I/O statistics counters shared by the disk and buffer layers."""
+"""I/O statistics counters shared by the disk and buffer layers.
+
+:class:`IOStats` is the mutable counter bundle one disk/pool pair
+shares; :class:`StatsView` is a *live* read-side aggregate over several
+bundles, for deployments that spread one logical index across many
+pools (the sharded multi-tree) but must report one coherent set of
+counters — harness code reads ``view.physical_reads`` exactly as it
+would a single pool's, instead of hand-summing per-shard counters.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 
 @dataclass
@@ -74,3 +83,78 @@ class IOStats:
             "logical_reads": self.logical_reads,
             "logical_writes": self.logical_writes,
         }
+
+
+class StatsView:
+    """A live aggregate over several :class:`IOStats` bundles.
+
+    Every counter access recomputes the sum from the underlying
+    bundles, so a view taken once (e.g. as a sharded deployment's
+    ``stats`` attribute) stays current as the member pools keep doing
+    I/O — callers can take before/after deltas on the view exactly as
+    they do on a single pool's :class:`IOStats`.
+
+    The view mirrors the read-side surface of :class:`IOStats`
+    (counters, :attr:`total_io`, :attr:`hit_ratio`, :meth:`snapshot`)
+    plus :meth:`reset`, which fans out to every member.  Per-bundle
+    ``mark``/``*_since`` bookkeeping stays on the members — a deadline
+    mark on an aggregate of moving parts would silently mix scopes.
+    """
+
+    def __init__(self, parts: Sequence[IOStats] | Iterable[IOStats]):
+        self._parts = tuple(parts)
+        if not self._parts:
+            raise ValueError("StatsView needs at least one IOStats bundle")
+
+    @property
+    def parts(self) -> tuple[IOStats, ...]:
+        """The member bundles, in aggregation order."""
+        return self._parts
+
+    @property
+    def physical_reads(self) -> int:
+        return sum(part.physical_reads for part in self._parts)
+
+    @property
+    def physical_writes(self) -> int:
+        return sum(part.physical_writes for part in self._parts)
+
+    @property
+    def logical_reads(self) -> int:
+        return sum(part.logical_reads for part in self._parts)
+
+    @property
+    def logical_writes(self) -> int:
+        return sum(part.logical_writes for part in self._parts)
+
+    @property
+    def total_io(self) -> int:
+        """Physical reads plus physical writes across every member."""
+        return self.physical_reads + self.physical_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of logical reads served by the buffers (1.0 if idle)."""
+        logical = self.logical_reads
+        if logical == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / logical
+
+    def reset(self) -> None:
+        """Zero every member bundle's counters."""
+        for part in self._parts:
+            part.reset()
+
+    def snapshot(self) -> dict[str, int]:
+        """Return an immutable merged view of the counters for reporting."""
+        return {
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "logical_reads": self.logical_reads,
+            "logical_writes": self.logical_writes,
+        }
+
+
+def merge_stats(parts: Iterable[IOStats]) -> StatsView:
+    """One coherent live view over several counter bundles."""
+    return StatsView(tuple(parts))

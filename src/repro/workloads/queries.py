@@ -124,6 +124,95 @@ class QueryGenerator:
             )
         return stream
 
+    def hotspot_stream(
+        self,
+        states: dict[int, MovingObject],
+        n_updates: int,
+        n_queries: int,
+        window_side: float,
+        max_speed: float,
+        t_start: float,
+        duration: float,
+        skew: float = 1.1,
+        hotspot_fraction: float = 0.25,
+    ) -> tuple[list[MovingObject], list[RangeQuerySpec]]:
+        """A skewed (Zipf-style hotspot) update *and* query workload.
+
+        The uniform :meth:`update_stream` spreads load evenly over users
+        and space; real traffic does not.  This generator concentrates
+        both dimensions the way a city-centre rush hour would:
+
+        * **who**: update issuers and query issuers are drawn with
+          Zipf-like weights ``1 / rank**skew`` over the uid-sorted
+          population, so a small head of users dominates;
+        * **where**: every re-reported position and query window centre
+          falls inside one hotspot square of side ``hotspot_fraction *
+          space_side``, placed once per stream by this generator's RNG.
+
+        Because sequence values cluster policy-related users, the head
+        users' entries land in few key regions — the workload that
+        exercises a sharded deployment's balance/skew statistics and
+        per-shard buffer locality, used by
+        ``benchmarks/bench_shard_scaling.py``.  Update timestamps
+        ascend across ``[t_start, t_start + duration)``; queries are
+        issued at ``t_start + duration``, after the stream.
+        """
+        if n_updates < 0 or n_queries < 0:
+            raise ValueError(
+                f"counts must be non-negative, got {n_updates}/{n_queries}"
+            )
+        if max_speed <= 0:
+            raise ValueError(f"max_speed must be positive, got {max_speed}")
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        if not 0.0 < hotspot_fraction <= 1.0:
+            raise ValueError(
+                f"hotspot_fraction must be in (0, 1], got {hotspot_fraction}"
+            )
+        if window_side <= 0 or window_side > self.space_side:
+            raise ValueError(
+                f"window_side must be in (0, {self.space_side}], got {window_side}"
+            )
+        uids = sorted(states)
+        weights = [1.0 / (rank + 1.0) ** skew for rank in range(len(uids))]
+        side = self.space_side * hotspot_fraction
+        x_lo = self.rng.uniform(0.0, self.space_side - side)
+        y_lo = self.rng.uniform(0.0, self.space_side - side)
+
+        times = sorted(
+            self.rng.uniform(t_start, t_start + duration) for _ in range(n_updates)
+        )
+        issuers = self.rng.choices(uids, weights=weights, k=n_updates)
+        updates = [
+            MovingObject(
+                uid=uid,
+                x=self.rng.uniform(x_lo, x_lo + side),
+                y=self.rng.uniform(y_lo, y_lo + side),
+                vx=self.rng.uniform(-max_speed, max_speed),
+                vy=self.rng.uniform(-max_speed, max_speed),
+                t_update=t_update,
+            )
+            for uid, t_update in zip(issuers, times)
+        ]
+
+        t_query = t_start + duration
+        queries = []
+        for uid in self.rng.choices(uids, weights=weights, k=n_queries):
+            cx = self.rng.uniform(x_lo, x_lo + side)
+            cy = self.rng.uniform(y_lo, y_lo + side)
+            w_lo = min(max(cx - window_side / 2.0, 0.0), self.space_side - window_side)
+            h_lo = min(max(cy - window_side / 2.0, 0.0), self.space_side - window_side)
+            queries.append(
+                RangeQuerySpec(
+                    q_uid=uid,
+                    window=Rect(w_lo, w_lo + window_side, h_lo, h_lo + window_side),
+                    t_query=t_query,
+                )
+            )
+        return updates, queries
+
     def mixed_queries(
         self,
         states: dict[int, MovingObject],

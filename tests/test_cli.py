@@ -208,3 +208,37 @@ def test_batch_query_runs_and_verifies(capsys):
     assert "band-scan batching" in out
     assert "dedup ratio" in out
     assert "verified identical to sequential" in out
+
+
+def test_batch_query_with_shards(capsys):
+    code = main(
+        [
+            "batch-query",
+            "--users", "400",
+            "--policies", "8",
+            "--queries", "8",
+            "--shards", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Sharded scatter/gather (2 shards" in out
+    assert "balance skew" in out
+    assert "verified identical to the single tree" in out
+
+
+def test_batch_update_with_shards(capsys):
+    code = main(
+        [
+            "batch-update",
+            "--users", "400",
+            "--policies", "6",
+            "--batch-sizes", "16,64",
+            "--shards", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Sharded update routing (2 shards" in out
+    assert "updates applied / physical write" in out
+    assert "verified identical to the single tree" in out

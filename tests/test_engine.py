@@ -249,6 +249,55 @@ def test_batch_knn_matches_brute_force(small_world):
         ]
 
 
+def test_batch_knn_first_round_joins_the_prefetch_set(small_world):
+    """Batch-aware kNN: the Dk-estimate probe bands are prefetched, so
+    kNN queries share the batch's physical scans instead of joining it
+    only via the scanner memo — with identical results."""
+    world = small_world
+    specs = world.query_generator().knn_queries(world.states, 12, 4, 5.0)
+    engine = QueryEngine(world.peb)
+    plain = engine.execute_batch(specs, prefetch=False)
+    prefetched = engine.execute_batch(specs, prefetch=True)
+    for expected, got in zip(plain.results, prefetched.results):
+        assert [round(d, 9) for d, _ in got.neighbors] == [
+            round(d, 9) for d, _ in expected.neighbors
+        ]
+        assert got.candidates_examined == expected.candidates_examined
+    # The probe turned first-round requests into store hits: fewer
+    # post-prefetch physical scans than the memo tier alone needed.
+    assert prefetched.stats.bands_scanned < plain.stats.bands_scanned
+    assert prefetched.stats.bands_deduped > plain.stats.bands_deduped
+
+
+def test_knn_probe_bands_match_first_round_requests(small_world):
+    """The probe must name exactly the bands round one scans, or the
+    prefetch store could never serve them."""
+    world = small_world
+    engine = QueryEngine(world.peb)
+    spec = world.query_generator().knn_queries(world.states, 1, 3, 5.0)[0]
+    probe = engine.planner.plan_knn_probe(
+        spec.q_uid, spec.qx, spec.qy, spec.k, spec.t_query
+    )
+    friends = engine.planner.friends(spec.q_uid)
+    contexts = engine.planner.contexts(spec.t_query)
+    if friends:
+        spans = sum(
+            1
+            for context in contexts
+            if world.grid.z_span(
+                context.enlarged(
+                    Rect.from_center(
+                        spec.qx, spec.qy, engine.planner.knn_step(spec.k)
+                    )
+                )
+            )
+            is not None
+        )
+        assert len(probe) == spans * len(friends)
+    for band in probe:
+        assert band.is_single_sv
+
+
 def test_batch_rejects_unknown_spec_types(small_world):
     engine = QueryEngine(small_world.peb)
     with pytest.raises(TypeError):

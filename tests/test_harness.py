@@ -103,3 +103,41 @@ def test_config_scaled_helper():
     assert bigger.n_users == 500
     assert bigger.n_policies == config.n_policies
     assert config.n_users == 300  # original untouched
+
+
+def test_run_sharded_measures_and_verifies(harness):
+    costs = harness.run_sharded(2, workload="uniform", n_updates=150, n_queries=5)
+    assert costs.n_shards == 2
+    assert costs.workload == "uniform"
+    assert 0 < costs.ops_applied <= 150
+    assert costs.n_queries == 5
+    assert costs.balance_skew >= 1.0
+    assert costs.single_ops_per_write > 0
+    assert costs.sharded_ops_per_write > 0
+    # The harness's own indexes stay untouched.
+    assert harness.now == 0.0
+    assert len(harness.peb_tree) == 300
+
+
+def test_run_sharded_hotspot_workload(harness):
+    costs = harness.run_sharded(2, workload="hotspot", n_updates=150, n_queries=5)
+    assert costs.workload == "hotspot"
+    assert costs.ops_applied > 0
+    assert costs.sharded_query_reads >= 0
+
+
+def test_run_sharded_same_seed_same_workload(harness):
+    first = harness.run_sharded(1, workload="uniform", n_updates=80, n_queries=4)
+    second = harness.run_sharded(2, workload="uniform", n_updates=80, n_queries=4)
+    # Identical workload across shard counts: same ops and same
+    # single-tree reference numbers row to row.
+    assert first.ops_applied == second.ops_applied
+    assert first.single_update_writes == second.single_update_writes
+    assert first.single_query_reads == second.single_query_reads
+
+
+def test_run_sharded_validates_inputs(harness):
+    with pytest.raises(ValueError):
+        harness.run_sharded(0)
+    with pytest.raises(ValueError):
+        harness.run_sharded(2, workload="frob")

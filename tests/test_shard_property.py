@@ -1,0 +1,214 @@
+"""Property tests pinning the sharded deployment to the single tree.
+
+The sharding layer is a *deployment* change, never a different index:
+over randomized populations and workloads, an N-shard
+:class:`repro.shard.ShardedPEBTree` driven by the scatter/gather
+:class:`repro.shard.ShardedQueryEngine` and the shared
+:class:`repro.engine.UpdatePipeline` must be observationally identical
+to one PEB-tree driven by the plain engine —
+
+* per-query results *and* ``candidates_examined`` for mixed
+  range/kNN batches, for shards ∈ {1, 2, 4};
+* scans of bands that straddle shard boundaries (the multi-SV
+  span-scan bands), entry for entry, in key order;
+* post-update ``fetch_all`` state, live-key memos, speed maxima, and
+  per-shard structural/consistency audits after identical update
+  streams flow through identical pipelines.
+"""
+
+import pytest
+
+from repro.engine import QueryEngine, UpdatePipeline
+from repro.shard import ShardedPEBTree, ShardedQueryEngine
+from repro.workloads.queries import RangeQuerySpec
+
+from tests.conftest import build_world
+
+SEEDS = (5, 31)
+SHARD_COUNTS = (1, 2, 4)
+
+
+def build_sharded(world, n_shards, policy="sv", buffer_pages=512):
+    sharded = ShardedPEBTree.build(
+        n_shards,
+        world.grid,
+        world.partitioner,
+        world.store,
+        uids=world.uids,
+        policy=policy,
+        page_size=1024,
+        buffer_pages=buffer_pages,
+    )
+    for uid in world.uids:
+        sharded.insert(world.states[uid])
+    return sharded
+
+
+def single_entries(world):
+    return list(world.peb.btree.items())
+
+
+@pytest.fixture(params=SEEDS)
+def world(request):
+    return build_world(n_users=260, n_policies=8, seed=request.param)
+
+
+# ----------------------------------------------------------------------
+# Read path
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_batch_identical_to_single_tree(world, n_shards):
+    sharded = build_sharded(world, n_shards)
+    assert sharded.check_consistency() == []
+    assert len(sharded) == len(world.peb)
+    specs = world.query_generator().mixed_queries(world.states, 30, 260.0, 4, 5.0)
+
+    single = QueryEngine(world.peb).execute_batch(specs)
+    parallel = n_shards > 1  # exercise the thread-pool fast path too
+    shard = ShardedQueryEngine(sharded, parallel_prefetch=parallel).execute_batch(specs)
+
+    assert len(shard.results) == len(specs)
+    for spec, expected, got in zip(specs, single.results, shard.results):
+        if isinstance(spec, RangeQuerySpec):
+            assert got.uids == expected.uids, spec
+        else:
+            assert [round(d, 9) for d, _ in got.neighbors] == [
+                round(d, 9) for d, _ in expected.neighbors
+            ], spec
+        assert got.candidates_examined == expected.candidates_examined, spec
+    assert shard.stats.candidates_examined == single.stats.candidates_examined
+    assert shard.stats.shard_stats is not None
+    assert shard.stats.shard_stats.n_shards == n_shards
+    assert shard.stats.shard_stats.total_entries == len(world.peb)
+    # The breakdown covers exactly this batch: it sums to the delta
+    # counter it rides with.
+    assert shard.stats.shard_stats.total_reads == shard.stats.physical_reads
+
+
+@pytest.mark.parametrize("n_shards", (2, 4))
+def test_boundary_straddling_band_scans_identically(world, n_shards):
+    """A multi-SV band crossing every shard boundary, entry for entry."""
+    sharded = build_sharded(world, n_shards)
+    codec = world.peb.codec
+    sv_lo, sv_hi = 0, (1 << codec.sv_bits) - 1
+    band_checked = 0
+    for tid in range(world.partitioner.num_partitions):
+        # The widest possible span band: straddles every SV boundary.
+        single = [
+            (zv, obj.uid)
+            for zv, obj in world.peb.scan_band(tid, sv_lo, sv_hi, 0, world.grid.max_z)
+        ]
+        sharded_rows = [
+            (zv, obj.uid)
+            for zv, obj in sharded.scan_band(tid, sv_lo, sv_hi, 0, world.grid.max_z)
+        ]
+        assert sharded_rows == single
+        band_checked += len(single)
+    assert band_checked == len(world.peb)  # every entry seen exactly once
+
+    # And through the engine: the Figure 7 span-scan ablation plans
+    # multi-SV bands over the friend list's [SV_min, SV_max] range.
+    single_engine = QueryEngine(world.peb)
+    shard_engine = ShardedQueryEngine(sharded)
+    for spec in world.query_generator().range_queries(world.uids, 10, 320.0, 5.0):
+        expected = single_engine.execute_span_scan(spec.q_uid, spec.window, spec.t_query)
+        got = shard_engine.execute_span_scan(spec.q_uid, spec.window, spec.t_query)
+        assert got.candidates_examined == expected.candidates_examined, spec
+
+
+# ----------------------------------------------------------------------
+# Write path
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_updates_identical_to_single_tree(world, n_shards):
+    """Same stream, same pipeline, byte-identical end state."""
+    sharded = build_sharded(world, n_shards)
+    generator = world.query_generator()
+    # Duration crosses a partition rollover, exercising the pipeline's
+    # rollover flush on both sides (and, with repeats, last-write-wins).
+    stream = generator.update_stream(world.states, 500, 3.0, 0.0, 130.0)
+
+    with UpdatePipeline(sharded, capacity=64) as sharded_pipeline:
+        sharded_pipeline.extend(stream)
+    with UpdatePipeline(world.peb, capacity=64) as single_pipeline:
+        single_pipeline.extend(stream)
+
+    assert sharded.live_keys() == world.peb._live_keys
+    assert list(sharded.items()) == single_entries(world)
+    assert sharded.fetch_all() == [
+        world.peb.records.unpack(payload)[0] for _, _, payload in single_entries(world)
+    ]
+    assert sharded.max_speed_x == world.peb.max_speed_x
+    assert sharded.max_speed_y == world.peb.max_speed_y
+    assert sharded.check_consistency() == []
+    sharded.check_invariants()
+
+    single_stats = single_pipeline.stats
+    sharded_stats = sharded_pipeline.stats
+    assert sharded_stats.ops == single_stats.ops
+    assert sharded_stats.in_place_hits == single_stats.in_place_hits
+    assert sharded_stats.moved == single_stats.moved
+    assert sharded_stats.inserted == single_stats.inserted
+    assert sharded_stats.flushes == single_stats.flushes
+    assert sharded_stats.shard_stats is not None
+    assert sharded_stats.shard_stats.n_shards == n_shards
+    # The breakdown covers the pipeline's own flushes (no other actor
+    # touched the pools here), so it sums to the accumulated counters.
+    assert sharded_stats.shard_stats.total_reads == sharded_stats.physical_reads
+    assert sharded_stats.shard_stats.total_writes == sharded_stats.physical_writes
+    assert single_stats.shard_stats is None
+
+    # Queries after the churn still agree.
+    specs = generator.range_queries(world.uids, 12, 240.0, 130.0)
+    single_report = QueryEngine(world.peb).execute_batch(specs)
+    shard_report = ShardedQueryEngine(sharded).execute_batch(specs)
+    for spec, expected, got in zip(specs, single_report.results, shard_report.results):
+        assert got.uids == expected.uids, spec
+        assert got.candidates_examined == expected.candidates_examined, spec
+
+
+def test_tid_policy_migrates_entries_between_shards(world):
+    """Under TID sharding a rollover moves an entry to another shard."""
+    sharded = build_sharded(world, 3, policy="tid")
+    generator = world.query_generator()
+    # A long stream: update times cross time-partition boundaries, so
+    # re-reported entries key into new TIDs and change shards.
+    stream = generator.update_stream(world.states, 400, 3.0, 0.0, 220.0)
+
+    before = sharded.shard_stats().entries
+    with UpdatePipeline(sharded, capacity=50) as sharded_pipeline:
+        sharded_pipeline.extend(stream)
+    with UpdatePipeline(world.peb, capacity=50) as single_pipeline:
+        single_pipeline.extend(stream)
+
+    after = sharded.shard_stats().entries
+    assert before != after  # entries migrated across TID shards
+    assert sum(after) == len(world.peb)
+    assert sharded_pipeline.stats.moved == single_pipeline.stats.moved
+    assert sharded.live_keys() == world.peb._live_keys
+    assert list(sharded.items()) == single_entries(world)
+    assert sharded.check_consistency() == []
+
+
+def test_sharded_update_batch_matches_single_update_batch(world):
+    """The facade's run splitting vs the single tree's two sweeps."""
+    sharded = build_sharded(world, 4)
+    generator = world.query_generator()
+    stream = generator.update_stream(world.states, 300, 3.0, 0.0, 90.0)
+    batch = [(obj, obj.uid % 3) for obj in stream]
+
+    single_result = world.peb.update_batch(batch)
+    sharded_result = sharded.update_batch(batch)
+
+    assert sharded_result.ops == single_result.ops
+    assert sharded_result.in_place == single_result.in_place
+    assert sharded_result.moved == single_result.moved
+    assert sharded_result.inserted == single_result.inserted
+    assert sharded.live_keys() == world.peb._live_keys
+    assert list(sharded.items()) == single_entries(world)
+    assert sharded.max_speed_x == world.peb.max_speed_x
+    assert sharded.max_speed_y == world.peb.max_speed_y

@@ -68,3 +68,72 @@ def test_deterministic_under_seed():
     a = make(seed=42).range_queries(list(range(10)), 5, 100.0, 0.0)
     b = make(seed=42).range_queries(list(range(10)), 5, 100.0, 0.0)
     assert a == b
+
+
+def _states(count=60):
+    return {
+        uid: MovingObject(
+            uid=uid, x=uid * 7.0 % 1000, y=uid * 13.0 % 1000, vx=0.5, vy=-0.5,
+            t_update=0.0,
+        )
+        for uid in range(count)
+    }
+
+
+def test_hotspot_stream_shapes_and_bounds():
+    generator = make()
+    updates, queries = generator.hotspot_stream(
+        _states(), 80, 25, 200.0, 3.0, 10.0, 50.0
+    )
+    assert len(updates) == 80
+    assert len(queries) == 25
+    times = [obj.t_update for obj in updates]
+    assert times == sorted(times)
+    assert all(10.0 <= t < 60.0 for t in times)
+    for obj in updates:
+        assert 0.0 <= obj.x <= 1000.0 and 0.0 <= obj.y <= 1000.0
+        assert abs(obj.vx) <= 3.0 and abs(obj.vy) <= 3.0
+    for query in queries:
+        assert query.t_query == pytest.approx(60.0)
+        assert query.window.width == pytest.approx(200.0)
+        assert 0 <= query.window.x_lo and query.window.x_hi <= 1000.0
+
+
+def test_hotspot_stream_concentrates_space_and_users():
+    generator = make(seed=3)
+    updates, queries = generator.hotspot_stream(
+        _states(200), 400, 50, 150.0, 3.0, 0.0, 60.0, hotspot_fraction=0.2
+    )
+    # Spatial hotspot: every re-report falls inside one 200-side square.
+    xs = [obj.x for obj in updates]
+    ys = [obj.y for obj in updates]
+    assert max(xs) - min(xs) <= 200.0 * 1.0001
+    assert max(ys) - min(ys) <= 200.0 * 1.0001
+    # Zipf skew: the head decile dominates the tail decile.
+    head = sum(1 for obj in updates if obj.uid < 20)
+    tail = sum(1 for obj in updates if obj.uid >= 180)
+    assert head > 4 * max(tail, 1)
+    issuer_head = sum(1 for query in queries if query.q_uid < 20)
+    assert issuer_head > len(queries) // 4
+
+
+def test_hotspot_stream_deterministic_and_validated():
+    states = _states()
+    a = make(seed=9).hotspot_stream(states, 30, 10, 100.0, 2.0, 0.0, 30.0)
+    b = make(seed=9).hotspot_stream(states, 30, 10, 100.0, 2.0, 0.0, 30.0)
+    assert a == b
+    generator = make()
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(states, -1, 5, 100.0, 2.0, 0.0, 30.0)
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(states, 5, 5, 100.0, 0.0, 0.0, 30.0)
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(states, 5, 5, 100.0, 2.0, 0.0, -1.0)
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(states, 5, 5, 100.0, 2.0, 0.0, 30.0, skew=-0.1)
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(
+            states, 5, 5, 100.0, 2.0, 0.0, 30.0, hotspot_fraction=0.0
+        )
+    with pytest.raises(ValueError):
+        generator.hotspot_stream(states, 5, 5, 2000.0, 2.0, 0.0, 30.0)
