@@ -19,7 +19,12 @@ Quick start::
 or assemble the pieces by hand — see ``examples/quickstart.py``.
 """
 
-from repro.bench.harness import ExperimentConfig, ExperimentHarness, QueryCosts
+from repro.bench.harness import (
+    ExperimentConfig,
+    ExperimentHarness,
+    OverlapCosts,
+    QueryCosts,
+)
 from repro.bench.oracle import brute_force_pknn, brute_force_prq
 from repro.btree import BPlusTree, BTreeConfig
 from repro.bxtree import BxTree, SpatialFilterBaseline, bx_knn, bx_range_query
@@ -44,6 +49,7 @@ from repro.policy import (
     TimeInterval,
     TimeSet,
 )
+from repro.simio import IOScheduler, LatencyModel, SimClock, TimedDisk
 from repro.spatial import Grid, Rect
 from repro.storage import BufferPool, IOStats, SimulatedDisk
 from repro.tprtree import TPBR, TPRFilterBaseline, TPRTree
@@ -68,11 +74,14 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentHarness",
     "Grid",
+    "IOScheduler",
     "IOStats",
+    "LatencyModel",
     "LocationPrivacyPolicy",
     "MovingObject",
     "MultiPolicyStore",
     "NetworkMovement",
+    "OverlapCosts",
     "PEBKeyCodec",
     "PEBTree",
     "PolicyGenerator",
@@ -82,6 +91,7 @@ __all__ = [
     "Rect",
     "RoleRegistry",
     "SemanticLocationRegistry",
+    "SimClock",
     "SimulatedDisk",
     "SpatialFilterBaseline",
     "TPBR",
@@ -90,6 +100,7 @@ __all__ = [
     "TimeInterval",
     "TimePartitioner",
     "TimeSet",
+    "TimedDisk",
     "UniformMovement",
     "UpdatePolicy",
     "assign_sequence_values",

@@ -254,6 +254,124 @@ class ShardScalingCosts:
         return self.sharded_query_reads / max(1, self.n_queries)
 
 
+@dataclass
+class OverlapCosts:
+    """Simulated-latency comparison: overlapped N-shard vs serial 1-shard.
+
+    Both deployments run on :class:`repro.simio.disk.TimedDisk` devices
+    under the same :class:`repro.simio.model.LatencyModel` profile and
+    apply the identical workload (an update stream, then a range-query
+    batch); results and end state are pinned to an *untimed* single-tree
+    reference, so the only thing that differs is the virtual schedule.
+    The baseline serializes everything on one device; the sharded run
+    overlaps per-shard prefetch scans, per-shard update sweeps, and
+    verification (pipelined against still-running scans).
+
+    Attributes:
+        profile: latency profile name (``hdd`` / ``ssd`` / ``nvme``).
+        n_shards: shard count of the overlapped deployment.
+        workload: ``"uniform"`` or ``"hotspot"``.
+        parallel_io: whether the sharded run also used real threads
+            (virtual times are identical either way; this records the
+            mode exercised).
+        ops_applied: distinct states applied (identical in all runs).
+        n_queries: query batch size.
+        baseline_update_us / baseline_query_us: virtual elapsed time of
+            each phase on the 1-shard serial deployment.
+        sharded_update_us / sharded_query_us: same on the N-shard
+            overlapped deployment.
+        baseline_reads / baseline_writes: physical I/O of the baseline
+            (update + query phases, final pool flush included).
+        sharded_reads / sharded_writes: same, summed across shards.
+        sharded_busy_us: summed device-serialized time of the sharded
+            run — divided by its elapsed time this is the overlap
+            factor (1.0 = serial, N = N devices kept busy).
+        baseline_busy_us: same for the baseline (≈ its elapsed time).
+    """
+
+    profile: str
+    n_shards: int
+    workload: str
+    parallel_io: bool
+    ops_applied: int
+    n_queries: int
+    baseline_update_us: float
+    baseline_query_us: float
+    sharded_update_us: float
+    sharded_query_us: float
+    baseline_reads: int
+    baseline_writes: int
+    sharded_reads: int
+    sharded_writes: int
+    baseline_busy_us: float
+    sharded_busy_us: float
+
+    @property
+    def baseline_elapsed_us(self) -> float:
+        return self.baseline_update_us + self.baseline_query_us
+
+    @property
+    def sharded_elapsed_us(self) -> float:
+        return self.sharded_update_us + self.sharded_query_us
+
+    @property
+    def speedup(self) -> float:
+        """Virtual wall-clock gain of the overlapped deployment."""
+        if self.sharded_elapsed_us <= 0:
+            return float("inf") if self.baseline_elapsed_us > 0 else 1.0
+        return self.baseline_elapsed_us / self.sharded_elapsed_us
+
+    @property
+    def update_speedup(self) -> float:
+        if self.sharded_update_us <= 0:
+            return float("inf") if self.baseline_update_us > 0 else 1.0
+        return self.baseline_update_us / self.sharded_update_us
+
+    @property
+    def query_speedup(self) -> float:
+        if self.sharded_query_us <= 0:
+            return float("inf") if self.baseline_query_us > 0 else 1.0
+        return self.baseline_query_us / self.sharded_query_us
+
+    @property
+    def overlap_factor(self) -> float:
+        """Device busy time over elapsed time on the sharded run.
+
+        1.0 means the devices never overlapped (serial I/O); values
+        toward ``n_shards`` mean the scheduler genuinely kept that many
+        devices busy at once.  Can dip below 1.0 when CPU verification
+        (not device time) contributes to the elapsed tail.
+        """
+        if self.sharded_elapsed_us <= 0:
+            return 1.0
+        return self.sharded_busy_us / self.sharded_elapsed_us
+
+    def snapshot(self) -> dict:
+        """JSON-ready form for benchmark reports."""
+        return {
+            "profile": self.profile,
+            "n_shards": self.n_shards,
+            "workload": self.workload,
+            "parallel_io": self.parallel_io,
+            "ops_applied": self.ops_applied,
+            "n_queries": self.n_queries,
+            "baseline_update_us": self.baseline_update_us,
+            "baseline_query_us": self.baseline_query_us,
+            "sharded_update_us": self.sharded_update_us,
+            "sharded_query_us": self.sharded_query_us,
+            "baseline_reads": self.baseline_reads,
+            "baseline_writes": self.baseline_writes,
+            "sharded_reads": self.sharded_reads,
+            "sharded_writes": self.sharded_writes,
+            "baseline_busy_us": self.baseline_busy_us,
+            "sharded_busy_us": self.sharded_busy_us,
+            "speedup": self.speedup,
+            "update_speedup": self.update_speedup,
+            "query_speedup": self.query_speedup,
+            "overlap_factor": self.overlap_factor,
+        }
+
+
 class ExperimentHarness:
     """Builds the full system for one configuration and measures queries."""
 
@@ -618,6 +736,51 @@ class ExperimentHarness:
     # Sharded multi-tree scaling
     # ------------------------------------------------------------------
 
+    def _scaling_workload(
+        self,
+        workload: str,
+        n_updates: int | None,
+        n_queries: int | None,
+        workload_seed: int,
+    ) -> tuple[list[MovingObject], list]:
+        """One deterministic update stream + query batch for scaling runs.
+
+        Shared by :meth:`run_sharded` and :meth:`run_overlap`; the draw
+        depends only on the configuration seed and ``workload_seed``,
+        never on how often it is taken — the harness's own states are
+        untouched.
+        """
+        count_updates = n_updates if n_updates is not None else len(self.states)
+        count_queries = n_queries if n_queries is not None else self.config.n_queries
+        generator = QueryGenerator(
+            self.config.space_side,
+            random.Random(self.config.seed + 9000 + workload_seed),
+        )
+        duration = self.config.max_update_interval / 2.0
+        if workload == "uniform":
+            updates = generator.update_stream(
+                self.states, count_updates, self.config.max_speed, self.now, duration
+            )
+            queries = generator.range_queries(
+                sorted(self.states),
+                count_queries,
+                self.config.window_side,
+                self.now + duration,
+            )
+        elif workload == "hotspot":
+            updates, queries = generator.hotspot_stream(
+                self.states,
+                count_updates,
+                count_queries,
+                self.config.window_side,
+                self.config.max_speed,
+                self.now,
+                duration,
+            )
+        else:
+            raise ValueError(f"unknown workload {workload!r}")
+        return updates, queries
+
     def run_sharded(
         self,
         n_shards: int,
@@ -656,35 +819,9 @@ class ExperimentHarness:
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
-        count_updates = n_updates if n_updates is not None else len(self.states)
-        count_queries = n_queries if n_queries is not None else self.config.n_queries
-        generator = QueryGenerator(
-            self.config.space_side,
-            random.Random(self.config.seed + 9000 + workload_seed),
+        updates, queries = self._scaling_workload(
+            workload, n_updates, n_queries, workload_seed
         )
-        duration = self.config.max_update_interval / 2.0
-        if workload == "uniform":
-            updates = generator.update_stream(
-                self.states, count_updates, self.config.max_speed, self.now, duration
-            )
-            queries = generator.range_queries(
-                sorted(self.states),
-                count_queries,
-                self.config.window_side,
-                self.now + duration,
-            )
-        elif workload == "hotspot":
-            updates, queries = generator.hotspot_stream(
-                self.states,
-                count_updates,
-                count_queries,
-                self.config.window_side,
-                self.config.max_speed,
-                self.now,
-                duration,
-            )
-        else:
-            raise ValueError(f"unknown workload {workload!r}")
 
         # Single-tree reference: a physically identical clone.
         clone = clone_peb_tree(self.peb_tree, buffer_pages=self.config.buffer_pages)
@@ -766,6 +903,161 @@ class ExperimentHarness:
             single_query_reads=single_query_reads,
             sharded_query_reads=sharded_query_reads,
             balance_skew=sharded.shard_stats().balance_skew,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulated-latency overlap (the simio subsystem's headline)
+    # ------------------------------------------------------------------
+
+    def run_overlap(
+        self,
+        n_shards: int,
+        latency: str = "hdd",
+        workload: str = "hotspot",
+        n_updates: int | None = None,
+        n_queries: int | None = None,
+        batch_size: int = 256,
+        policy: str = "sv",
+        shard_buffer_pages: int | None = None,
+        parallel_io: bool = True,
+        workload_seed: int = 0,
+    ) -> OverlapCosts:
+        """Measure virtual-time overlap: N timed shards vs one timed shard.
+
+        Three runs of one deterministic workload (update stream, then
+        range-query batch, the same draw :meth:`run_sharded` uses):
+
+        * an **untimed single-tree clone** — the result oracle; every
+          timed run's per-query results and final index contents are
+          asserted identical to it, so latency simulation is proven to
+          be timing-only;
+        * a **1-shard timed deployment** (``latency`` profile, serial
+          scheduling) — the virtual-time baseline;
+        * an **N-shard timed deployment** with overlapped scheduling
+          (per-shard prefetch scans and update sweeps fork/join on the
+          shared clock, verification pipelines against still-running
+          scans; ``parallel_io`` additionally exercises the real
+          thread pool, which must not change any number).
+
+        Physical I/O counts stay comparable to :meth:`run_sharded`;
+        what this method adds is the *time* axis: the virtual elapsed
+        microseconds of each phase, and the overlap factor showing how
+        many devices the scheduler kept busy at once.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        updates, queries = self._scaling_workload(
+            workload, n_updates, n_queries, workload_seed
+        )
+
+        # Untimed single-tree reference: pins results and end state.
+        clone = clone_peb_tree(self.peb_tree, buffer_pages=self.config.buffer_pages)
+        clone.stats.reset()
+        reference_pipeline = UpdatePipeline(clone, capacity=batch_size)
+        reference_pipeline.extend(updates)
+        reference_pipeline.flush()
+        clone.btree.pool.flush()
+        reference_report = QueryEngine(clone).execute_batch(queries)
+        reference_entries = list(clone.btree.items())
+
+        per_shard_pages = (
+            shard_buffer_pages
+            if shard_buffer_pages is not None
+            else self.config.buffer_pages
+        )
+
+        def timed_run(shards: int, overlapped: bool):
+            deployment = ShardedPEBTree.build(
+                shards,
+                self.grid,
+                self.partitioner,
+                self.store,
+                uids=sorted(self.states),
+                policy=policy,
+                page_size=self.config.page_size,
+                buffer_pages=self.config.build_buffer_pages,
+                buffer_policy=self.config.buffer_policy,
+                latency=latency,
+                parallel_io=overlapped and parallel_io,
+            )
+            for uid in sorted(self.states):
+                deployment.insert(self.states[uid])
+            for pool in deployment.pools:
+                pool.clear()
+                pool.resize(per_shard_pages)
+            deployment.stats.reset()
+            clock = deployment.sim_clock
+
+            phase_start = clock.elapsed
+            pipeline = UpdatePipeline(deployment, capacity=batch_size)
+            pipeline.extend(updates)
+            pipeline.flush()
+            # The final write-back is per-pool independent work too:
+            # route it through the deployment's scheduler so it
+            # overlaps like the sweeps that dirtied the pages.
+            deployment.io.run(
+                [(lambda pool=pool: pool.flush()) for pool in deployment.pools]
+            )
+            update_us = clock.elapsed - phase_start
+
+            phase_start = clock.elapsed
+            engine = ShardedQueryEngine(deployment, pipeline_verify=overlapped)
+            report = engine.execute_batch(queries)
+            query_us = clock.elapsed - phase_start
+            # Counters snapshot *before* the pin checks below: the
+            # full-index audit scan is timed too, and must not leak
+            # into the measured window.
+            reads = deployment.stats.physical_reads
+            writes = deployment.stats.physical_writes
+            busy_us = deployment.latency_stats.busy_us
+
+            if pipeline.stats.ops != reference_pipeline.stats.ops:
+                raise AssertionError(
+                    "timed pipeline applied a different op count "
+                    f"({pipeline.stats.ops} vs {reference_pipeline.stats.ops})"
+                )
+            for spec, expected, got in zip(
+                queries, reference_report.results, report.results
+            ):
+                if expected.uids != got.uids:
+                    raise AssertionError(
+                        f"timed result mismatch for {spec}: "
+                        f"expected={sorted(expected.uids)} got={sorted(got.uids)}"
+                    )
+            if list(deployment.items()) != reference_entries:
+                raise AssertionError(
+                    "timed deployment end state diverged from the reference"
+                )
+            return update_us, query_us, reads, writes, busy_us
+
+        base_update_us, base_query_us, base_reads, base_writes, base_busy = timed_run(
+            1, overlapped=False
+        )
+        (
+            shard_update_us,
+            shard_query_us,
+            shard_reads,
+            shard_writes,
+            shard_busy,
+        ) = timed_run(n_shards, overlapped=True)
+
+        return OverlapCosts(
+            profile=latency if isinstance(latency, str) else latency.name,
+            n_shards=n_shards,
+            workload=workload,
+            parallel_io=parallel_io,
+            ops_applied=reference_pipeline.stats.ops,
+            n_queries=len(queries),
+            baseline_update_us=base_update_us,
+            baseline_query_us=base_query_us,
+            sharded_update_us=shard_update_us,
+            sharded_query_us=shard_query_us,
+            baseline_reads=base_reads,
+            baseline_writes=base_writes,
+            sharded_reads=shard_reads,
+            sharded_writes=shard_writes,
+            baseline_busy_us=base_busy,
+            sharded_busy_us=shard_busy,
         )
 
     # ------------------------------------------------------------------

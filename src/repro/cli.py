@@ -95,6 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
         "single-tree clone on a fresh same-shape workload (per-shard "
         "buffers; results verified identical; 0 disables)",
     )
+    batch.add_argument(
+        "--latency",
+        choices=("hdd", "ssd", "nvme"),
+        default=None,
+        help="additionally price every access through the simulated-"
+        "latency subsystem and report virtual elapsed time next to the "
+        "read/write counts (N-shard overlapped vs 1-shard serial; N "
+        "from --shards, default 4)",
+    )
+    batch.add_argument(
+        "--parallel-io",
+        dest="parallel_io",
+        action="store_true",
+        help="run the overlapped deployment's per-shard work on a real "
+        "thread pool too (virtual times and results are identical)",
+    )
     batch.add_argument("--seed", type=int, default=7)
 
     batch_update = subparsers.add_parser(
@@ -117,6 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally route a fresh update stream through an "
         "N-shard deployment vs a single-tree clone (per-shard buffers; "
         "end state verified identical; 0 disables)",
+    )
+    batch_update.add_argument(
+        "--latency",
+        choices=("hdd", "ssd", "nvme"),
+        default=None,
+        help="additionally price every access through the simulated-"
+        "latency subsystem and report virtual elapsed time next to the "
+        "read/write counts (N-shard overlapped vs 1-shard serial; N "
+        "from --shards, default 4)",
+    )
+    batch_update.add_argument(
+        "--parallel-io",
+        dest="parallel_io",
+        action="store_true",
+        help="run the overlapped deployment's per-shard work on a real "
+        "thread pool too (virtual times and results are identical)",
     )
     batch_update.add_argument("--seed", type=int, default=7)
 
@@ -166,6 +198,54 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Subcommand implementations (each returns a process exit code)
 # ----------------------------------------------------------------------
+
+
+def _print_latency_table(harness, args, n_updates: int, n_queries: int) -> None:
+    """The ``--latency`` report shared by batch-query and batch-update.
+
+    Prices one hotspot workload through the simulated-latency subsystem
+    (:meth:`repro.bench.harness.ExperimentHarness.run_overlap`) and
+    prints virtual elapsed time next to the physical read/write counts:
+    an overlapped N-shard deployment against a serial 1-shard one, both
+    on the chosen device profile, results pinned identical to untimed
+    single-tree execution.
+    """
+    n_shards = args.shards if args.shards else 4
+    costs = harness.run_overlap(
+        n_shards,
+        latency=args.latency,
+        workload="hotspot",
+        n_updates=n_updates,
+        n_queries=n_queries,
+        parallel_io=args.parallel_io,
+    )
+    mode = "thread pool" if args.parallel_io else "virtual overlap only"
+    table = SeriesTable(
+        f"Simulated latency, {costs.profile} profile ({costs.ops_applied} "
+        f"updates + {costs.n_queries} queries, {mode})",
+        ["metric", "1 shard serial", f"{n_shards} shards overlapped"],
+    )
+    table.add_row(
+        "virtual elapsed (ms)",
+        f"{costs.baseline_elapsed_us / 1000:.1f}",
+        f"{costs.sharded_elapsed_us / 1000:.1f}",
+    )
+    table.add_row(
+        "  update phase (ms)",
+        f"{costs.baseline_update_us / 1000:.1f}",
+        f"{costs.sharded_update_us / 1000:.1f}",
+    )
+    table.add_row(
+        "  query phase (ms)",
+        f"{costs.baseline_query_us / 1000:.1f}",
+        f"{costs.sharded_query_us / 1000:.1f}",
+    )
+    table.add_row("physical reads", costs.baseline_reads, costs.sharded_reads)
+    table.add_row("physical writes", costs.baseline_writes, costs.sharded_writes)
+    table.add_row("speedup", "1.00x", f"{costs.speedup:.2f}x")
+    table.add_row("overlap factor", "1.00", f"{costs.overlap_factor:.2f}")
+    table.print()
+    print("\nTimed results verified identical to untimed single-tree execution. OK")
 
 
 def run_demo(args) -> int:
@@ -256,7 +336,10 @@ def run_batch_query(args) -> int:
 
     if args.shards:
         sharded = harness.run_sharded(
-            args.shards, workload="uniform", n_queries=args.queries
+            args.shards,
+            workload="uniform",
+            n_queries=args.queries,
+            parallel_prefetch=args.parallel_io,
         )
         shard_table = SeriesTable(
             f"Sharded scatter/gather ({args.shards} shards, "
@@ -276,6 +359,12 @@ def run_batch_query(args) -> int:
         shard_table.add_row("balance skew", "-", f"{sharded.balance_skew:.3f}")
         shard_table.print()
         print("\nSharded results verified identical to the single tree. OK")
+
+    if args.latency:
+        print()
+        _print_latency_table(
+            harness, args, n_updates=args.users // 2, n_queries=args.queries
+        )
     return 0
 
 
@@ -321,7 +410,10 @@ def run_batch_update(args) -> int:
 
     if args.shards:
         sharded = harness.run_sharded(
-            args.shards, workload="uniform", batch_size=max(batch_sizes)
+            args.shards,
+            workload="uniform",
+            batch_size=max(batch_sizes),
+            parallel_prefetch=args.parallel_io,
         )
         shard_table = SeriesTable(
             f"Sharded update routing ({args.shards} shards, "
@@ -342,6 +434,12 @@ def run_batch_update(args) -> int:
         shard_table.add_row("balance skew", "-", f"{sharded.balance_skew:.3f}")
         shard_table.print()
         print("\nSharded end state verified identical to the single tree. OK")
+
+    if args.latency:
+        print()
+        _print_latency_table(
+            harness, args, n_updates=args.users // 2, n_queries=32
+        )
     return 0
 
 

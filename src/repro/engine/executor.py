@@ -63,6 +63,16 @@ class ExecutionStats:
         shard_stats: per-shard breakdown of this execution's I/O when
             it ran on a sharded deployment (None on a single tree);
             entries are point-in-time.
+        virtual_time_us: simulated elapsed time of this execution in
+            virtual microseconds, when the tree runs on timed devices
+            (:mod:`repro.simio`); 0.0 on untimed storage.  Overlapped
+            scheduling shrinks this number while leaving every counter
+            above unchanged — which is exactly why it exists.
+            Verification CPU (``verify_us`` per candidate) is priced
+            only by batch execution, the simio subsystem's consumer
+            surface; single-query executions report device time alone,
+            so their virtual times are not directly comparable to a
+            batch-of-one's.
     """
 
     bands_requested: int = 0
@@ -71,6 +81,7 @@ class ExecutionStats:
     candidates_examined: int = 0
     physical_reads: int = 0
     shard_stats: "ShardStats | None" = None
+    virtual_time_us: float = 0.0
 
     @property
     def dedup_ratio(self) -> float:
@@ -163,6 +174,8 @@ class QueryEngine:
         """
         scanner = scanner if scanner is not None else BandScanner(self.tree)
         verifier = CandidateVerifier(self.tree.store, plan.q_uid, plan.t_query)
+        clock = getattr(self.tree, "sim_clock", None)
+        elapsed_before = clock.elapsed if clock is not None else 0.0
         reads_before = self.tree.stats.physical_reads
         requests_before = scanner.requests
         scans_before = scanner.physical_scans
@@ -189,6 +202,9 @@ class QueryEngine:
             bands_deduped=scanner.deduped - deduped_before,
             candidates_examined=verifier.candidates_examined,
             physical_reads=self.tree.stats.physical_reads - reads_before,
+            virtual_time_us=(
+                clock.elapsed - elapsed_before if clock is not None else 0.0
+            ),
         )
         return RangeExecution(
             candidates_examined=verifier.candidates_examined,
@@ -269,6 +285,8 @@ class QueryEngine:
                 )
 
         scanner = self._batch_scanner()
+        clock = getattr(self.tree, "sim_clock", None)
+        elapsed_before = clock.elapsed if clock is not None else 0.0
         reads_before = self.tree.stats.physical_reads
         if prefetch:
             def merged_bands():
@@ -281,6 +299,7 @@ class QueryEngine:
             scanner.prefetch(merged_bands())
 
         report = BatchReport()
+        self._begin_replay(scanner)
         for spec, plan in zip(specs, plans):
             if plan is not None:
                 result = prq_from_plan(self, plan, scanner)
@@ -295,13 +314,17 @@ class QueryEngine:
                     planner=self.planner,
                     scanner=scanner,
                 ).run()
+            self._charge_verify(result, plan, scanner)
             report.stats.candidates_examined += result.candidates_examined
             report.results.append(result)
+        self._end_replay(scanner)
 
         report.stats.bands_requested = scanner.requests
         report.stats.bands_scanned = scanner.physical_scans
         report.stats.bands_deduped = scanner.deduped
         report.stats.physical_reads = self.tree.stats.physical_reads - reads_before
+        if clock is not None:
+            report.stats.virtual_time_us = clock.elapsed - elapsed_before
         self._finish_batch_stats(report)
         return report
 
@@ -315,6 +338,35 @@ class QueryEngine:
         single-tree path.
         """
         return BandScanner(self.tree)
+
+    def _timing(self):
+        """``(clock, model)`` when the tree runs on timed devices."""
+        clock = getattr(self.tree, "sim_clock", None)
+        model = getattr(self.tree, "latency_model", None)
+        if clock is None or model is None:
+            return None, None
+        return clock, model
+
+    def _begin_replay(self, scanner) -> None:
+        """Hook before the batch's replay loop (timing setup point)."""
+
+    def _charge_verify(self, result, plan, scanner) -> None:
+        """Charge one replayed query's verification CPU in virtual time.
+
+        The base engine serializes verification after the scans: the
+        context cursor (already past the prefetch) advances by
+        ``candidates × verify_us``.  The sharded engine overrides this
+        to pipeline verification against still-running shard scans.
+        Verification is charged here — once per query of a batch — and
+        nowhere else, so single-query adapters (which may be replayed
+        *by* this loop via ``prq_from_plan``) never double-charge.
+        """
+        clock, model = self._timing()
+        if clock is not None:
+            clock.advance(result.candidates_examined * model.verify_us)
+
+    def _end_replay(self, scanner) -> None:
+        """Hook after the batch's replay loop (timing join point)."""
 
     def _finish_batch_stats(self, report: BatchReport) -> None:
         """Attach deployment-specific stats to a finished batch (hook)."""

@@ -67,6 +67,11 @@ class UpdateStats:
         shard_stats: per-shard I/O since the pipeline's first flush
             when it writes to a sharded deployment (None on a single
             tree); entries are point-in-time.
+        virtual_time_us: simulated elapsed time of the flushes in
+            virtual microseconds, when the tree runs on timed devices
+            (:mod:`repro.simio`); 0.0 on untimed storage.  Per-shard
+            sweeps overlapping on distinct devices shrink this number
+            while the physical counters stay identical.
     """
 
     ops: int = 0
@@ -79,6 +84,7 @@ class UpdateStats:
     physical_reads: int = 0
     physical_writes: int = 0
     shard_stats: "ShardStats | None" = None
+    virtual_time_us: float = 0.0
 
     @property
     def total_io(self) -> int:
@@ -185,6 +191,8 @@ class UpdatePipeline:
         stats = self.tree.stats
         reads_before = stats.physical_reads
         writes_before = stats.physical_writes
+        clock = getattr(self.tree, "sim_clock", None)
+        elapsed_before = clock.elapsed if clock is not None else 0.0
         shard_stats = getattr(self.tree, "shard_stats", None)
         if callable(shard_stats) and self._shard_stats_base is None:
             # Baseline the per-shard counters before the first flush so
@@ -200,6 +208,8 @@ class UpdatePipeline:
         self.stats.descents_saved += result.descents_saved
         self.stats.physical_reads += stats.physical_reads - reads_before
         self.stats.physical_writes += stats.physical_writes - writes_before
+        if clock is not None:
+            self.stats.virtual_time_us += clock.elapsed - elapsed_before
         if callable(shard_stats):
             self.stats.shard_stats = shard_stats().delta_from(self._shard_stats_base)
         for obj, _ in batch:

@@ -18,7 +18,9 @@ the single tree:
   :class:`repro.storage.stats.StatsView`.
 * :class:`~repro.shard.engine.ShardedQueryEngine` — scatter/gather
   batch execution with per-shard prefetching (sequential or
-  thread-pooled) through the inherited executor and verifier.
+  thread-pooled) through the inherited executor and verifier, plus
+  verification pipelined against still-running shard scans when the
+  deployment runs on simulated-latency devices (:mod:`repro.simio`).
 * :class:`~repro.shard.stats.ShardStats` — per-shard entry/I/O
   breakdown and balance skew, surfaced on ``ExecutionStats`` /
   ``UpdateStats``.

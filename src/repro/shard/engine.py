@@ -12,13 +12,22 @@ single-tree engine.  The substituted
   (:meth:`repro.shard.router.ShardRouter.split_band`, cutting
   boundary-straddling bands at the boundary key),
 * runs each shard's **prefetch** against that shard's own tree and
-  pool — sequentially by default, or concurrently via a
-  ``ThreadPoolExecutor`` fast path (shards share no mutable state:
-  separate trees, pools, disks, and counter bundles, and the shared
-  store/grid/codec are read-only during queries),
+  pool as one job of a :class:`repro.simio.scheduler.IOScheduler` —
+  shards share no mutable state (separate trees, pools, disks, and
+  counter bundles; the shared store/grid/codec are read-only during
+  queries), so the jobs may run on a real thread pool, and on timed
+  devices they *overlap in virtual time* either way,
 * **gathers** sub-scans back in ascending shard order, which inside a
   time partition is ascending key order, so a replayed band is
   byte-identical to a single tree's scan.
+
+On a timed deployment the engine additionally **pipelines
+verification with scanning**: the scheduler reports each shard's
+prefetch finish instant, and a query's candidates are verified on a
+CPU timeline starting the moment the *last shard its bands needed*
+lands — while slower shards are still scanning — instead of after the
+global prefetch barrier.  Timing only: results, iteration order, and
+every I/O counter are identical to the sequential schedule.
 
 Every query then flows through the inherited executor and the
 existing verifier; per-shard breakdowns land on
@@ -27,13 +36,13 @@ existing verifier; per-shard breakdowns land on
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
 from repro.engine.executor import BatchReport, QueryEngine
 from repro.engine.plan import BandRequest
 from repro.engine.scanner import BandScanner
 from repro.shard.tree import ShardedPEBTree
+from repro.simio.scheduler import IOScheduler
 
 
 class ShardScatterScanner:
@@ -46,7 +55,11 @@ class ShardScatterScanner:
     Attributes:
         requests: band requests received via :meth:`scan` (the
             scatter-level count the executor reports).
-        parallel: run per-shard prefetches on a thread pool.
+        scheduler: runs the per-shard prefetch jobs (fork/join virtual
+            time when the deployment is timed, optional real threads).
+        shard_ends: per-shard virtual finish instants of the last
+            prefetch, when the deployment is timed (the pipelining
+            input); empty otherwise.
     """
 
     def __init__(
@@ -54,13 +67,28 @@ class ShardScatterScanner:
         sharded: ShardedPEBTree,
         parallel: bool = False,
         max_workers: int | None = None,
+        scheduler: IOScheduler | None = None,
     ):
         self.tree = sharded
-        self.parallel = parallel
-        self.max_workers = max_workers
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else IOScheduler(
+                getattr(sharded, "sim_clock", None),
+                use_threads=parallel,
+                max_workers=max_workers,
+            )
+        )
         self.scanners = [BandScanner(tree) for tree in sharded.trees]
         self.requests = 0
+        self.shard_ends: dict[int, float] = {}
+        self.prefetch_base = 0.0
         self._parts_memo: dict[tuple, list] = {}
+
+    @property
+    def parallel(self) -> bool:
+        """True when per-shard prefetches run on a real thread pool."""
+        return self.scheduler.use_threads
 
     # ------------------------------------------------------------------
     # Aggregated counters (the executor's reporting surface)
@@ -112,30 +140,49 @@ class ShardScatterScanner:
 
         Per-shard prefetching inherits all of
         :meth:`BandScanner.prefetch`'s semantics (single-SV grouping,
-        interval merging, the SV-major layout guard).  With
-        :attr:`parallel` set and more than one shard involved, the
-        per-shard prefetches run concurrently — they touch disjoint
-        trees, pools, and counters, so the resulting stores and I/O
-        counts are identical to the sequential path.
+        interval merging, the SV-major layout guard).  The shard jobs
+        run through the scheduler: they touch disjoint trees, pools,
+        and counters, so the resulting stores and I/O counts are
+        identical to a sequential loop whether the scheduler uses
+        threads, virtual overlap, both, or neither.  On a timed
+        deployment each shard's virtual finish instant is recorded in
+        :attr:`shard_ends` for the engine's verify pipelining.
         """
         per_shard: dict[int, list[BandRequest]] = {}
         for band in bands:
             for shard, sub in self._split(band):
                 per_shard.setdefault(shard, []).append(sub)
         jobs = sorted(per_shard.items())
-        if self.parallel and len(jobs) > 1:
-            with ThreadPoolExecutor(
-                max_workers=self.max_workers or len(jobs)
-            ) as pool:
-                futures = [
-                    pool.submit(self.scanners[shard].prefetch, subs)
-                    for shard, subs in jobs
-                ]
-                for future in futures:
-                    future.result()
-        else:
-            for shard, subs in jobs:
-                self.scanners[shard].prefetch(subs)
+        if not jobs:
+            return
+        clock = self.scheduler.clock
+        self.prefetch_base = clock.cursor() if clock is not None else 0.0
+        _, ends = self.scheduler.run_timed(
+            [
+                (lambda scanner=self.scanners[shard], subs=subs: scanner.prefetch(subs))
+                for shard, subs in jobs
+            ]
+        )
+        if clock is not None:
+            self.shard_ends = {
+                shard: end for (shard, _), end in zip(jobs, ends)
+            }
+
+    def ready_time(self, bands: Iterable[BandRequest]) -> float | None:
+        """The instant every given band's owning shards finished
+        prefetching, or None when any shard is outside the prefetched
+        set (the caller then falls back to the serial schedule)."""
+        if not self.shard_ends:
+            return None
+        ready = self.prefetch_base
+        for band in bands:
+            for shard, _ in self._split(band):
+                end = self.shard_ends.get(shard)
+                if end is None:
+                    return None
+                if end > ready:
+                    ready = end
+        return ready
 
 
 class ShardedQueryEngine(QueryEngine):
@@ -143,25 +190,36 @@ class ShardedQueryEngine(QueryEngine):
 
     Single-query execution works through the inherited paths (the
     facade's ``scan_band`` routes each band); batch execution swaps in
-    the scatter scanner so prefetching happens per shard, optionally on
-    a thread pool.
+    the scatter scanner so prefetching happens per shard through the
+    deployment's I/O scheduler, and — on timed devices — verification
+    pipelines against still-running shard scans.
 
     Args:
         sharded: the deployment to query.
-        parallel_prefetch: run per-shard batch prefetches concurrently.
+        parallel_prefetch: run per-shard batch prefetches on a real
+            thread pool; None (default) inherits the deployment's
+            ``parallel_io`` setting.
         max_workers: thread-pool size cap (defaults to one per
             involved shard).
+        pipeline_verify: overlap verification CPU with shard scans in
+            virtual time (timed deployments only; timing-neutral
+            everywhere else).
     """
 
     def __init__(
         self,
         sharded: ShardedPEBTree,
-        parallel_prefetch: bool = False,
+        parallel_prefetch: bool | None = None,
         max_workers: int | None = None,
+        pipeline_verify: bool = True,
     ):
         super().__init__(sharded)
+        if parallel_prefetch is None:
+            parallel_prefetch = sharded.io.use_threads
         self.parallel_prefetch = parallel_prefetch
         self.max_workers = max_workers
+        self.pipeline_verify = pipeline_verify
+        self._cpu_cursor: float | None = None
 
     def _batch_scanner(self) -> ShardScatterScanner:
         # The scanner hook runs at the start of every batch: the right
@@ -174,6 +232,45 @@ class ShardedQueryEngine(QueryEngine):
             parallel=self.parallel_prefetch,
             max_workers=self.max_workers,
         )
+
+    # ------------------------------------------------------------------
+    # Verify/scan pipelining (timed deployments)
+    # ------------------------------------------------------------------
+
+    def _begin_replay(self, scanner) -> None:
+        self._cpu_cursor = None
+        clock, model = self._timing()
+        if clock is None or not self.pipeline_verify:
+            return
+        if getattr(scanner, "shard_ends", None):
+            # The CPU verification timeline forks where the prefetch
+            # forked: the verifier may start on the first-landed
+            # shard's candidates while later shards still scan.
+            self._cpu_cursor = scanner.prefetch_base
+
+    def _charge_verify(self, result, plan, scanner) -> None:
+        clock, model = self._timing()
+        if clock is None:
+            return
+        cost = result.candidates_examined * model.verify_us
+        ready = (
+            scanner.ready_time(planned.band for planned in plan.bands)
+            if self._cpu_cursor is not None and plan is not None
+            else None
+        )
+        if ready is None:
+            # kNN rounds interleave their own scans with verification,
+            # and unprefetched bands have no landing instant: keep the
+            # serial schedule for those.
+            clock.advance(cost)
+            return
+        start = self._cpu_cursor if self._cpu_cursor > ready else ready
+        self._cpu_cursor = start + cost
+
+    def _end_replay(self, scanner) -> None:
+        clock, _ = self._timing()
+        if clock is not None and self._cpu_cursor is not None:
+            clock.join([self._cpu_cursor])
 
     def _finish_batch_stats(self, report: BatchReport) -> None:
         report.stats.shard_stats = self.tree.shard_stats().delta_from(

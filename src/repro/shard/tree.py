@@ -39,9 +39,14 @@ from repro.engine.plan import BandRequest
 from repro.motion.objects import MovingObject
 from repro.shard.router import ShardRouter
 from repro.shard.stats import ShardStats
+from repro.simio.clock import SimClock
+from repro.simio.disk import TimedDisk
+from repro.simio.model import LatencyModel, make_latency_model
+from repro.simio.scheduler import IOScheduler
+from repro.simio.stats import LatencyView
 from repro.storage.buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from repro.storage.disk import SimulatedDisk
-from repro.storage.stats import StatsView
+from repro.storage.stats import StatsView, merge_stats
 
 if TYPE_CHECKING:
     from repro.motion.partitions import TimePartitioner
@@ -58,9 +63,29 @@ class ShardedPEBTree:
             a key composed by one shard must mean the same thing in
             every other.
         router: the key-space partitioning.
+        parallel_io: run independent per-shard work (scatter prefetch,
+            update sweeps) on a real thread pool; shards share no
+            mutable state, so results and counters are identical to
+            sequential execution.
+        max_workers: thread-pool size cap (defaults to one per
+            involved shard).
+
+    When the shard disks are :class:`repro.simio.disk.TimedDisk`
+    instances (see :meth:`build`'s ``latency``), the deployment also
+    surfaces the shared virtual clock (:attr:`sim_clock`), the pricing
+    model (:attr:`latency_model`), and a merged
+    :class:`repro.simio.stats.LatencyView` riding on :attr:`stats` —
+    and the same per-shard work *overlaps in virtual time* whether or
+    not real threads are in play.
     """
 
-    def __init__(self, trees: Sequence[PEBTree], router: ShardRouter):
+    def __init__(
+        self,
+        trees: Sequence[PEBTree],
+        router: ShardRouter,
+        parallel_io: bool = False,
+        max_workers: int | None = None,
+    ):
         if len(trees) != router.n_shards:
             raise ValueError(
                 f"router expects {router.n_shards} shards, got {len(trees)} trees"
@@ -80,7 +105,17 @@ class ShardedPEBTree:
             raise ValueError("router codec differs from the shard trees' codec")
         self.trees = tuple(trees)
         self.router = router
-        self._stats = BufferPool.merged_stats(tree.btree.pool for tree in self.trees)
+        disks = [tree.btree.pool.disk for tree in self.trees]
+        timed = [disk for disk in disks if isinstance(disk, TimedDisk)]
+        self.sim_clock: SimClock | None = timed[0].clock if timed else None
+        self.latency_model: LatencyModel | None = timed[0].model if timed else None
+        self.io = IOScheduler(
+            self.sim_clock, use_threads=parallel_io, max_workers=max_workers
+        )
+        self._stats = merge_stats(
+            (tree.btree.pool.stats for tree in self.trees),
+            latency=LatencyView([disk.latency for disk in timed]) if timed else None,
+        )
 
     @classmethod
     def build(
@@ -96,12 +131,25 @@ class ShardedPEBTree:
         buffer_policy: str = "lru",
         sv_bits: int = DEFAULT_SV_BITS,
         sv_scale: int = DEFAULT_SV_SCALE,
+        latency: "LatencyModel | str | None" = None,
+        parallel_io: bool = False,
+        max_workers: int | None = None,
+        disk_factory=None,
     ) -> "ShardedPEBTree":
         """An empty deployment: N fresh trees, each on its own disk.
 
         ``uids`` seeds the router's balance-aware boundaries (SV
         quantiles of the population under the ``"sv"`` policy); it does
         *not* insert anything.
+
+        ``latency`` (a profile name — ``"hdd"`` / ``"ssd"`` /
+        ``"nvme"`` — or a :class:`repro.simio.model.LatencyModel`)
+        wraps every shard's disk in a
+        :class:`repro.simio.disk.TimedDisk` on one shared
+        :class:`repro.simio.clock.SimClock`, so per-shard work overlaps
+        in virtual time.  ``disk_factory(shard) -> disk`` overrides the
+        inner disk (fault-injection tests compose ``TimedDisk`` over a
+        ``FaultyDisk`` this way); the timed wrapper still applies.
         """
         codec = PEBKeyCodec(
             tid_count=partitioner.num_partitions,
@@ -110,10 +158,23 @@ class ShardedPEBTree:
             sv_scale=sv_scale,
         )
         router = ShardRouter.for_store(n_shards, codec, store, uids, policy)
+        model = make_latency_model(latency) if latency is not None else None
+        clock = SimClock() if model is not None else None
+
+        def make_disk(shard: int):
+            disk = (
+                disk_factory(shard)
+                if disk_factory is not None
+                else SimulatedDisk(page_size=page_size)
+            )
+            if model is not None:
+                disk = TimedDisk(disk, clock, model, name=f"shard{shard}")
+            return disk
+
         trees = [
             PEBTree(
                 BufferPool(
-                    SimulatedDisk(page_size=page_size),
+                    make_disk(shard),
                     capacity=buffer_pages,
                     policy=buffer_policy,
                 ),
@@ -123,9 +184,9 @@ class ShardedPEBTree:
                 sv_bits=sv_bits,
                 sv_scale=sv_scale,
             )
-            for _ in range(n_shards)
+            for shard in range(n_shards)
         ]
-        return cls(trees, router)
+        return cls(trees, router, parallel_io=parallel_io, max_workers=max_workers)
 
     # ------------------------------------------------------------------
     # Shared geometry (the planner's and scanner's view of "the tree")
@@ -169,6 +230,11 @@ class ShardedPEBTree:
     def stats(self) -> StatsView:
         """One live merged I/O counter view over every shard's pool."""
         return self._stats
+
+    @property
+    def latency_stats(self) -> LatencyView | None:
+        """Merged virtual-time counters, when the shard disks are timed."""
+        return self._stats.latency
 
     def shard_stats(self) -> ShardStats:
         """Point-in-time per-shard entry and I/O breakdown."""
@@ -245,13 +311,21 @@ class ShardedPEBTree:
         tree uses — only the live-key lookup spans shards.  The final
         hop differs: each globally sorted run is cut at shard-key
         boundaries (:meth:`ShardRouter.split_sorted_run`, order
-        preserved, no re-sort) and applied per shard.  Under the SV
-        policy a user's shard never changes, so every move stays
-        shard-local; under the TID policy a rollover migrates the entry
-        — the delete lands in the old key's shard, the insert in the
-        new key's, and the memos move accordingly.  The merged result
-        and the final ``fetch_all`` state are observationally identical
-        to a single tree applying the same buffer.
+        preserved, no re-sort) and applied per shard, one job per
+        involved shard through the deployment's
+        :class:`repro.simio.scheduler.IOScheduler` — a shard's
+        old-key sweep runs before its new-key sweep (the ordering the
+        single tree's two global sweeps guarantee within any one
+        shard's key range), and different shards' jobs touch disjoint
+        trees and pools, so they overlap in virtual time and may run
+        on the thread pool without changing any observable state.
+        Under the SV policy a user's shard never changes, so every
+        move stays shard-local; under the TID policy a rollover
+        migrates the entry — the delete lands in the old key's shard,
+        the insert in the new key's, and the memos move accordingly.
+        The merged result and the final ``fetch_all`` state are
+        observationally identical to a single tree applying the same
+        buffer.
         """
         plan = plan_update_batch(
             updates,
@@ -262,12 +336,23 @@ class ShardedPEBTree:
             self.max_speed_y,
         )
         result = plan.result
-        for shard, run in self.router.split_sorted_run(plan.sweep_old):
-            stats = self.trees[shard].btree.apply_sorted_batch(run)
-            result.leaves_visited += stats.leaves_visited
-        for shard, run in self.router.split_sorted_run(plan.sweep_new):
-            stats = self.trees[shard].btree.apply_sorted_batch(run)
-            result.leaves_visited += stats.leaves_visited
+        old_runs = dict(self.router.split_sorted_run(plan.sweep_old))
+        new_runs = dict(self.router.split_sorted_run(plan.sweep_new))
+
+        def sweep(shard: int) -> int:
+            visited = 0
+            for run in (old_runs.get(shard), new_runs.get(shard)):
+                if run:
+                    batch_stats = self.trees[shard].btree.apply_sorted_batch(run)
+                    visited += batch_stats.leaves_visited
+            return visited
+
+        jobs = [
+            (lambda shard=shard: sweep(shard))
+            for shard in sorted(set(old_runs) | set(new_runs))
+        ]
+        for visited in self.io.run(jobs):
+            result.leaves_visited += visited
 
         for uid, new_key in plan.new_keys.items():
             old_key = plan.old_keys[uid]

@@ -1,0 +1,155 @@
+"""Virtual time with per-device serialization and fork/join contexts.
+
+:class:`SimClock` is the heart of the simulated-latency subsystem.  It
+models time the way a discrete-event simulator does, but driven
+*inline* by the code under measurement instead of by an event queue:
+
+* Every executing **context** (a thread, or one job of an
+  :class:`repro.simio.scheduler.IOScheduler` fan-out) carries a cursor
+  of virtual microseconds, stored thread-locally.  CPU work advances
+  only the local cursor (:meth:`advance`).
+* Every **device** owns a timeline: the instant it next becomes free,
+  plus the last page it accessed (the sequential-run state the
+  :class:`repro.simio.model.LatencyModel` discounts against).  A page
+  access (:meth:`charge`) starts at ``max(context cursor, device
+  free)`` — concurrent contexts touching *distinct* devices overlap,
+  while accesses to the *same* device serialize on its timeline — and
+  advances both cursor and device to the finish instant.
+* The **horizon** (:attr:`elapsed`) is the latest instant any context
+  or device has reached: the simulated wall clock.  Phase timings are
+  deltas of the horizon, exactly like the counter deltas the I/O stats
+  already support.
+
+Fork/join (:meth:`fork` / :meth:`join`) is what makes overlap
+*measurable without real parallelism*: the scheduler captures the
+parent cursor, starts every job's context there, and joins the parent
+to the maximum job end.  Virtual elapsed time is then identical
+whether the jobs ran on a thread pool or one after another on a single
+thread — and deterministic, as long as concurrent jobs touch disjoint
+devices (which is how the shard layer uses it: one disk per shard).
+
+All device state is guarded by one lock, so charging is safe from the
+scheduler's worker threads; the cursors are thread-local and need no
+locking.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SimClock:
+    """Thread-safe virtual time over any number of simulated devices."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._device_free: list[float] = []
+        self._device_last_page: list[int | None] = []
+        self._device_names: list[str] = []
+        self._horizon = 0.0
+
+    # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+
+    def register_device(self, name: str | None = None) -> int:
+        """Add a device timeline; returns its handle."""
+        with self._lock:
+            handle = len(self._device_free)
+            self._device_free.append(0.0)
+            self._device_last_page.append(None)
+            self._device_names.append(name if name is not None else f"dev{handle}")
+            return handle
+
+    @property
+    def device_count(self) -> int:
+        return len(self._device_free)
+
+    def device_name(self, device: int) -> str:
+        return self._device_names[device]
+
+    def device_free_at(self, device: int) -> float:
+        """The instant the device's timeline next becomes free."""
+        with self._lock:
+            return self._device_free[device]
+
+    # ------------------------------------------------------------------
+    # Contexts
+    # ------------------------------------------------------------------
+
+    def cursor(self) -> float:
+        """The calling context's current virtual instant."""
+        return getattr(self._local, "t", 0.0)
+
+    def set_cursor(self, t: float) -> None:
+        """Reposition the calling context (the scheduler's fork)."""
+        self._local.t = t
+
+    def advance(self, dt: float) -> float:
+        """Charge CPU work to the calling context; returns the new cursor.
+
+        CPU time touches no device timeline — two forked contexts both
+        advancing overlap fully.
+        """
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        t = self.cursor() + dt
+        self._local.t = t
+        with self._lock:
+            if t > self._horizon:
+                self._horizon = t
+        return t
+
+    def join(self, ends: "list[float] | tuple[float, ...]") -> float:
+        """Advance the calling context to the latest of several ends."""
+        t = max(self.cursor(), *ends) if ends else self.cursor()
+        self._local.t = t
+        with self._lock:
+            if t > self._horizon:
+                self._horizon = t
+        return t
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+
+    def charge(self, device: int, kind: str, page_id: int, model) -> tuple[float, bool]:
+        """Charge one page access; returns ``(cost_us, sequential)``.
+
+        The access starts when both the calling context and the device
+        are free, runs for the model's cost (computed against the
+        device's sequential-run state under the same lock), and
+        advances context, device timeline, and horizon to the finish
+        instant.
+        """
+        t = self.cursor()
+        with self._lock:
+            cost, sequential = model.access_cost(
+                kind, page_id, self._device_last_page[device]
+            )
+            start = t if t > self._device_free[device] else self._device_free[device]
+            end = start + cost
+            self._device_free[device] = end
+            self._device_last_page[device] = page_id
+            if end > self._horizon:
+                self._horizon = end
+        self._local.t = end
+        return cost, sequential
+
+    # ------------------------------------------------------------------
+    # Reading time
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """The simulated wall clock: the latest instant reached anywhere.
+
+        Monotonic for the clock's lifetime; measure phases as deltas,
+        the way the I/O counters are read.
+        """
+        with self._lock:
+            return self._horizon
+
+
+__all__ = ["SimClock"]

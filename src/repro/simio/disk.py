@@ -1,0 +1,106 @@
+"""The timed disk: virtual latency layered over any simulated disk.
+
+:class:`TimedDisk` is a delegating wrapper, not a subclass — it
+composes with the whole existing storage stack: a plain
+:class:`repro.storage.disk.SimulatedDisk`, a
+:class:`repro.storage.faults.FaultyDisk`, or a
+:class:`repro.storage.faults.ChecksummedDisk` all slot in as the
+``inner`` device unchanged.  Every *completed* access first runs
+through the inner disk (counters, overflow checks, fault injection,
+checksum verification) and is then charged on the shared
+:class:`repro.simio.clock.SimClock` against this disk's device
+timeline; the cost lands in the disk's own
+:class:`repro.simio.stats.LatencyStats` bundle.
+
+A *failed* access charges no virtual time, matching the counting
+discipline the fault layer already follows ("a failed access raises
+before touching the page store and charges no I/O"): the inner disk
+raises before the clock is touched, so :class:`DiskFaultError` and
+:class:`CorruptPageError` surface through the timed stack — and
+through the scheduler above it — byte-identical to the untimed stack.
+"""
+
+from __future__ import annotations
+
+from repro.simio.clock import SimClock
+from repro.simio.model import LatencyModel
+from repro.simio.stats import LatencyStats
+from repro.storage.disk import SimulatedDisk
+
+
+class TimedDisk:
+    """One simulated device: an inner disk plus a clock timeline.
+
+    Args:
+        inner: the wrapped disk (any :class:`SimulatedDisk` variant).
+        clock: the shared virtual clock; the disk registers one device
+            timeline on it.
+        model: the latency model pricing each access.
+        name: device name for diagnostics (defaults to ``dev<N>``).
+        latency: virtual-time counter bundle; fresh if omitted.
+    """
+
+    def __init__(
+        self,
+        inner: SimulatedDisk,
+        clock: SimClock,
+        model: LatencyModel,
+        name: str | None = None,
+        latency: LatencyStats | None = None,
+    ):
+        self.inner = inner
+        self.clock = clock
+        self.model = model
+        self.device = clock.register_device(name)
+        self.latency = latency if latency is not None else LatencyStats()
+
+    # ------------------------------------------------------------------
+    # Timed accesses
+    # ------------------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch a page through the inner disk, then charge its latency."""
+        image = self.inner.read(page_id)
+        cost, sequential = self.clock.charge(self.device, "read", page_id, self.model)
+        self.latency.record("read", cost, sequential)
+        return image
+
+    def write(self, page_id: int, image: bytes) -> None:
+        """Store a page through the inner disk, then charge its latency."""
+        self.inner.write(page_id, image)
+        cost, sequential = self.clock.charge(self.device, "write", page_id, self.model)
+        self.latency.record("write", cost, sequential)
+
+    # ------------------------------------------------------------------
+    # Untimed delegation (allocation and introspection cost no time,
+    # exactly as they cost no counted I/O)
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> int:
+        return self.inner.allocate()
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def contains(self, page_id: int) -> bool:
+        return self.inner.contains(page_id)
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    @property
+    def stats(self):
+        """The inner disk's I/O counter bundle (shared, not copied)."""
+        return self.inner.stats
+
+    @property
+    def page_count(self) -> int:
+        return self.inner.page_count
+
+    @property
+    def allocated_count(self) -> int:
+        return self.inner.allocated_count
+
+
+__all__ = ["TimedDisk"]

@@ -1,0 +1,124 @@
+"""Overlapped job scheduling in virtual time.
+
+:class:`IOScheduler` runs a list of independent jobs — per-shard
+prefetches on the read side, per-shard ``apply_sorted_batch`` sweeps on
+the write side — with fork/join virtual-time semantics on a shared
+:class:`repro.simio.clock.SimClock`:
+
+1. **fork** — capture the calling context's cursor; every job's
+   context starts there;
+2. **run** — each job executes, charging its own device timeline (real
+   concurrency via a ``ThreadPoolExecutor`` is optional and changes
+   nothing about the virtual schedule when jobs touch disjoint
+   devices, which is the shard layer's invariant: one disk per shard);
+3. **join** — the caller's cursor advances to the latest job end, so
+   the measured elapsed time is ``max`` over jobs, not their sum.
+
+Without a clock the scheduler degrades gracefully to a plain
+sequential loop (or a bare thread pool when ``use_threads`` is set) —
+the shard layer runs one code path whether or not latency is being
+simulated.
+
+Exception discipline: every job runs to completion or failure, ends
+are joined (time passed even for the failing job), and then the first
+failure *in job order* is re-raised — deterministic regardless of real
+thread interleaving, and transparent to the fault-injection layer:
+a :class:`repro.storage.faults.DiskFaultError` raised by one shard's
+disk surfaces from :meth:`run` exactly as it would from a sequential
+loop.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from repro.simio.clock import SimClock
+
+T = TypeVar("T")
+
+
+class IOScheduler:
+    """Fork/join executor for independent I/O jobs on one virtual clock.
+
+    Args:
+        clock: the shared virtual clock; None disables virtual timing.
+        use_threads: additionally run jobs on a real thread pool (the
+            shard layer's fast path; virtual results are identical).
+        max_workers: thread-pool size cap (defaults to one per job).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        use_threads: bool = False,
+        max_workers: int | None = None,
+    ):
+        self.clock = clock
+        self.use_threads = use_threads
+        self.max_workers = max_workers
+
+    @property
+    def overlapped(self) -> bool:
+        """True when jobs overlap in virtual time (a clock is attached)."""
+        return self.clock is not None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Callable[[], T]]) -> list[T]:
+        """Run every job; results in job order."""
+        results, _ = self.run_timed(jobs)
+        return results
+
+    def run_timed(
+        self, jobs: Sequence[Callable[[], T]]
+    ) -> tuple[list[T], list[float]]:
+        """Run every job; returns ``(results, per-job virtual end times)``.
+
+        The end times let callers pipeline downstream work against
+        individual jobs (verify the candidates of the shard that
+        finished first while the slowest shard is still scanning)
+        instead of the join barrier.  Without a clock the end times are
+        all 0.0.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return [], []
+        clock = self.clock
+        base = clock.cursor() if clock is not None else 0.0
+
+        def invoke(job: Callable[[], T]) -> tuple[T | None, Exception | None, float]:
+            if clock is not None:
+                clock.set_cursor(base)
+            try:
+                result: T | None = job()
+                failure: Exception | None = None
+            except Exception as exc:
+                # Ordinary failures are deferred so every job settles
+                # and the raise order stays deterministic;
+                # KeyboardInterrupt/SystemExit propagate immediately.
+                result, failure = None, exc
+            end = clock.cursor() if clock is not None else 0.0
+            return result, failure, end
+
+        if self.use_threads and len(jobs) > 1:
+            with ThreadPoolExecutor(
+                max_workers=self.max_workers or len(jobs)
+            ) as pool:
+                futures = [pool.submit(invoke, job) for job in jobs]
+                outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [invoke(job) for job in jobs]
+
+        ends = [end for _, _, end in outcomes]
+        if clock is not None:
+            clock.join(ends)
+        for _, failure, _ in outcomes:
+            if failure is not None:
+                raise failure
+        return [result for result, _, _ in outcomes], ends
+
+
+__all__ = ["IOScheduler"]

@@ -99,12 +99,24 @@ class StatsView:
     plus :meth:`reset`, which fans out to every member.  Per-bundle
     ``mark``/``*_since`` bookkeeping stays on the members — a deadline
     mark on an aggregate of moving parts would silently mix scopes.
+
+    Deployments on simulated-latency devices additionally carry a
+    ``latency`` aggregate (a :class:`repro.simio.stats.LatencyView`
+    over the devices' virtual-time bundles, duck-typed here so the
+    storage layer needs no simio import); it rides along so harness
+    code finds counters and times on one object, and :meth:`reset`
+    fans out to it too.
     """
 
-    def __init__(self, parts: Sequence[IOStats] | Iterable[IOStats]):
+    def __init__(
+        self,
+        parts: Sequence[IOStats] | Iterable[IOStats],
+        latency=None,
+    ):
         self._parts = tuple(parts)
         if not self._parts:
             raise ValueError("StatsView needs at least one IOStats bundle")
+        self.latency = latency
 
     @property
     def parts(self) -> tuple[IOStats, ...]:
@@ -141,20 +153,25 @@ class StatsView:
         return 1.0 - self.physical_reads / logical
 
     def reset(self) -> None:
-        """Zero every member bundle's counters."""
+        """Zero every member bundle's counters (latency bundles too)."""
         for part in self._parts:
             part.reset()
+        if self.latency is not None:
+            self.latency.reset()
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
         """Return an immutable merged view of the counters for reporting."""
-        return {
+        merged: dict = {
             "physical_reads": self.physical_reads,
             "physical_writes": self.physical_writes,
             "logical_reads": self.logical_reads,
             "logical_writes": self.logical_writes,
         }
+        if self.latency is not None:
+            merged["latency"] = self.latency.snapshot()
+        return merged
 
 
-def merge_stats(parts: Iterable[IOStats]) -> StatsView:
+def merge_stats(parts: Iterable[IOStats], latency=None) -> StatsView:
     """One coherent live view over several counter bundles."""
-    return StatsView(tuple(parts))
+    return StatsView(tuple(parts), latency=latency)

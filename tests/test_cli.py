@@ -242,3 +242,47 @@ def test_batch_update_with_shards(capsys):
     assert "Sharded update routing (2 shards" in out
     assert "updates applied / physical write" in out
     assert "verified identical to the single tree" in out
+
+
+def test_batch_query_with_latency(capsys):
+    code = main(
+        [
+            "batch-query",
+            "--users", "400",
+            "--policies", "8",
+            "--queries", "8",
+            "--latency", "ssd",
+            "--parallel-io",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Simulated latency, ssd profile" in out
+    assert "virtual elapsed (ms)" in out
+    assert "overlap factor" in out
+    assert "4 shards overlapped" in out  # --shards unset defaults to 4
+    assert "verified identical to untimed single-tree execution" in out
+
+
+def test_batch_update_with_latency_and_shards(capsys):
+    code = main(
+        [
+            "batch-update",
+            "--users", "400",
+            "--policies", "6",
+            "--batch-sizes", "32",
+            "--shards", "2",
+            "--latency", "hdd",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Simulated latency, hdd profile" in out
+    assert "2 shards overlapped" in out  # --shards carries over
+    assert "virtual elapsed (ms)" in out
+    assert "physical writes" in out
+
+
+def test_parser_rejects_unknown_latency_profile():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["batch-query", "--latency", "tape"])

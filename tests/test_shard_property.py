@@ -28,7 +28,7 @@ SEEDS = (5, 31)
 SHARD_COUNTS = (1, 2, 4)
 
 
-def build_sharded(world, n_shards, policy="sv", buffer_pages=512):
+def build_sharded(world, n_shards, policy="sv", buffer_pages=512, **kwargs):
     sharded = ShardedPEBTree.build(
         n_shards,
         world.grid,
@@ -38,6 +38,7 @@ def build_sharded(world, n_shards, policy="sv", buffer_pages=512):
         policy=policy,
         page_size=1024,
         buffer_pages=buffer_pages,
+        **kwargs,
     )
     for uid in world.uids:
         sharded.insert(world.states[uid])
@@ -192,6 +193,103 @@ def test_tid_policy_migrates_entries_between_shards(world):
     assert sharded.live_keys() == world.peb._live_keys
     assert list(sharded.items()) == single_entries(world)
     assert sharded.check_consistency() == []
+
+
+@pytest.mark.parametrize("n_shards", (2, 4))
+def test_parallel_io_timed_identical_to_sequential(world, n_shards):
+    """--parallel-io is a schedule change, never a different index.
+
+    A timed deployment with overlapped scheduling (virtual fork/join,
+    real thread pool, pipelined verification) must produce the same
+    query results, ``candidates_examined``, physical I/O counters, and
+    post-update tree state as the plain sequential deployment and the
+    single tree — only the virtual clock may differ.
+    """
+    # Small per-shard buffers so the workload does real physical I/O —
+    # a fully resident tree would make virtual time trivially zero.
+    sequential = build_sharded(world, n_shards, buffer_pages=8)
+    overlapped = build_sharded(
+        world, n_shards, buffer_pages=8, latency="ssd", parallel_io=True
+    )
+    generator = world.query_generator()
+    stream = generator.update_stream(world.states, 450, 3.0, 0.0, 130.0)
+
+    with UpdatePipeline(world.peb, capacity=64) as single_pipeline:
+        single_pipeline.extend(stream)
+    with UpdatePipeline(sequential, capacity=64) as sequential_pipeline:
+        sequential_pipeline.extend(stream)
+    with UpdatePipeline(overlapped, capacity=64) as overlapped_pipeline:
+        overlapped_pipeline.extend(stream)
+
+    # Post-update state: identical across all three deployments.
+    assert overlapped.live_keys() == world.peb._live_keys
+    assert list(overlapped.items()) == single_entries(world)
+    assert list(overlapped.items()) == list(sequential.items())
+    assert overlapped.max_speed_x == world.peb.max_speed_x
+    assert overlapped.max_speed_y == world.peb.max_speed_y
+    assert overlapped.check_consistency() == []
+    overlapped.check_invariants()
+    assert overlapped_pipeline.stats.ops == sequential_pipeline.stats.ops
+    assert (
+        overlapped_pipeline.stats.leaves_visited
+        == sequential_pipeline.stats.leaves_visited
+    )
+    # Physical I/O is schedule-independent; only virtual time is new.
+    assert (
+        overlapped_pipeline.stats.physical_reads
+        == sequential_pipeline.stats.physical_reads
+    )
+    assert (
+        overlapped_pipeline.stats.physical_writes
+        == sequential_pipeline.stats.physical_writes
+    )
+    # Virtual time moves exactly when devices were touched (at high
+    # shard counts a shard can fit its buffer and do no physical I/O).
+    pipeline_io = (
+        overlapped_pipeline.stats.physical_reads
+        + overlapped_pipeline.stats.physical_writes
+    )
+    assert (overlapped_pipeline.stats.virtual_time_us > 0) == (pipeline_io > 0)
+    assert sequential_pipeline.stats.virtual_time_us == 0
+
+    specs = generator.mixed_queries(world.states, 24, 260.0, 4, 130.0)
+    single_report = QueryEngine(world.peb).execute_batch(specs)
+    sequential_report = ShardedQueryEngine(
+        sequential, parallel_prefetch=False
+    ).execute_batch(specs)
+    overlapped_report = ShardedQueryEngine(overlapped).execute_batch(specs)
+
+    for spec, expected, seq, par in zip(
+        specs,
+        single_report.results,
+        sequential_report.results,
+        overlapped_report.results,
+    ):
+        if isinstance(spec, RangeQuerySpec):
+            assert par.uids == expected.uids == seq.uids, spec
+        else:
+            assert [round(d, 9) for d, _ in par.neighbors] == [
+                round(d, 9) for d, _ in expected.neighbors
+            ], spec
+        assert (
+            par.candidates_examined
+            == expected.candidates_examined
+            == seq.candidates_examined
+        ), spec
+    assert (
+        overlapped_report.stats.physical_reads
+        == sequential_report.stats.physical_reads
+    )
+    assert (
+        overlapped_report.stats.bands_scanned
+        == sequential_report.stats.bands_scanned
+    )
+    assert overlapped_report.stats.virtual_time_us > 0
+    assert overlapped.latency_stats is not None
+    # Every counted access was priced, and only counted accesses were.
+    assert overlapped.latency_stats.reads == overlapped.stats.physical_reads
+    assert overlapped.latency_stats.writes == overlapped.stats.physical_writes
+    assert sequential.latency_stats is None
 
 
 def test_sharded_update_batch_matches_single_update_batch(world):
