@@ -24,6 +24,12 @@ from repro.core.pknn import pknn
 from repro.core.prq import prq
 from repro.engine import QueryEngine, UpdatePipeline
 from repro.core.sequencing import EncodingReport, assign_sequence_values
+from repro.service import (
+    BatchPolicy,
+    OpenLoopGenerator,
+    ServiceStats,
+    SimulatedService,
+)
 from repro.shard import ShardedPEBTree, ShardedQueryEngine
 from repro.motion.objects import MovingObject
 from repro.motion.partitions import TimePartitioner
@@ -369,6 +375,63 @@ class OverlapCosts:
             "update_speedup": self.update_speedup,
             "query_speedup": self.query_speedup,
             "overlap_factor": self.overlap_factor,
+        }
+
+
+@dataclass
+class ServiceCosts:
+    """One open-loop service run: offered load in, tail latency out.
+
+    Produced by :meth:`ExperimentHarness.run_service`.  A stamped
+    request stream (Poisson or burst arrivals at ``rate_per_sec``) is
+    served by a single batching worker over a timed N-shard deployment;
+    every recorded batch is then replayed directly through
+    ``UpdatePipeline`` + ``execute_batch`` on an untimed single-tree
+    clone and asserted result-identical — the service layer changes
+    *when* work runs, never *what* it computes.
+
+    Attributes:
+        rate_per_sec: offered arrival rate (virtual requests/second).
+        arrival: arrival process (``poisson`` / ``burst``).
+        n_shards / profile: deployment shape and latency profile.
+        max_batch / max_wait_us: the admission policy swept by the
+            service benchmark.
+        n_requests: stream length.
+        stats: the run's :class:`repro.service.ServiceStats`.
+        pinned: True when the direct-replay equivalence check ran (and
+            passed — a mismatch raises instead of reporting).
+    """
+
+    rate_per_sec: float
+    arrival: str
+    n_shards: int
+    profile: str
+    max_batch: int
+    max_wait_us: float
+    n_requests: int
+    stats: ServiceStats
+    pinned: bool
+
+    @property
+    def p99_us(self) -> float:
+        return self.stats.overall.p99_us
+
+    @property
+    def throughput_per_sec(self) -> float:
+        return self.stats.throughput_per_sec
+
+    def snapshot(self) -> dict:
+        """JSON-ready form for benchmark reports."""
+        return {
+            "rate_per_sec": self.rate_per_sec,
+            "arrival": self.arrival,
+            "n_shards": self.n_shards,
+            "profile": self.profile,
+            "max_batch": self.max_batch,
+            "max_wait_us": self.max_wait_us,
+            "n_requests": self.n_requests,
+            "pinned": self.pinned,
+            "stats": self.stats.snapshot(),
         }
 
 
@@ -1058,6 +1121,154 @@ class ExperimentHarness:
             sharded_writes=shard_writes,
             baseline_busy_us=base_busy,
             sharded_busy_us=shard_busy,
+        )
+
+    # ------------------------------------------------------------------
+    # Open-loop service (the service subsystem's headline)
+    # ------------------------------------------------------------------
+
+    def run_service(
+        self,
+        rate_per_sec: float,
+        n_requests: int = 256,
+        max_batch: int = 64,
+        max_wait_us: float = 2000.0,
+        arrival: str = "poisson",
+        n_shards: int = 2,
+        latency: str = "ssd",
+        update_fraction: float = 0.5,
+        knn_fraction: float = 0.25,
+        burst_size: int = 16,
+        batch_size: int = 256,
+        policy: str = "sv",
+        shard_buffer_pages: int | None = None,
+        parallel_io: bool = True,
+        workload_seed: int = 0,
+        pin: bool = True,
+    ) -> ServiceCosts:
+        """Serve one open-loop request stream and report sojourn SLOs.
+
+        A mixed query+update stream (``update_fraction`` updates,
+        ``knn_fraction`` of the queries kNN) arrives at ``rate_per_sec``
+        under the ``arrival`` process; a single worker batches it under
+        ``BatchPolicy(max_batch, max_wait_us)`` over a fresh timed
+        ``n_shards``-shard deployment of the harness's population.  The
+        stream's draw depends only on the configuration seed and
+        ``workload_seed``; the harness's own indexes are untouched.
+
+        With ``pin`` (the default), the run's recorded batches are then
+        replayed *directly* — same update batches through an
+        ``UpdatePipeline``, same query batches through
+        ``execute_batch`` — on an untimed clone of the harness's
+        single PEB-tree, and every per-query result plus the final
+        index contents are asserted identical.  The service layer is
+        thereby proven an orchestration of the engine: batching and
+        virtual time change the schedule, never a result.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if n_requests < 1:
+            raise ValueError(f"n_requests must be positive, got {n_requests}")
+
+        generator = QueryGenerator(
+            self.config.space_side,
+            random.Random(self.config.seed + 9500 + workload_seed),
+        )
+        duration = self.config.max_update_interval / 2.0
+        stream = OpenLoopGenerator(generator, self.states).generate(
+            n_requests,
+            rate_per_sec,
+            arrival=arrival,
+            update_fraction=update_fraction,
+            window_side=self.config.window_side,
+            k=self.config.k,
+            knn_fraction=knn_fraction,
+            max_speed=self.config.max_speed,
+            t_start=self.now,
+            duration=duration,
+            burst_size=burst_size,
+        )
+
+        per_shard_pages = (
+            shard_buffer_pages
+            if shard_buffer_pages is not None
+            else self.config.buffer_pages
+        )
+        deployment = ShardedPEBTree.build(
+            n_shards,
+            self.grid,
+            self.partitioner,
+            self.store,
+            uids=sorted(self.states),
+            policy=policy,
+            page_size=self.config.page_size,
+            buffer_pages=self.config.build_buffer_pages,
+            buffer_policy=self.config.buffer_policy,
+            latency=latency,
+            parallel_io=parallel_io,
+        )
+        for uid in sorted(self.states):
+            deployment.insert(self.states[uid])
+        for pool in deployment.pools:
+            pool.clear()
+            pool.resize(per_shard_pages)
+        deployment.stats.reset()
+
+        admission = BatchPolicy(max_batch=max_batch, max_wait_us=max_wait_us)
+        service = SimulatedService(
+            ShardedQueryEngine(deployment),
+            UpdatePipeline(deployment, capacity=batch_size),
+            admission,
+        )
+        report = service.run(stream)
+
+        if pin:
+            clone = clone_peb_tree(
+                self.peb_tree, buffer_pages=self.config.buffer_pages
+            )
+            clone.stats.reset()
+            reference_pipeline = UpdatePipeline(clone, capacity=batch_size)
+            reference_engine = QueryEngine(clone)
+            for batch in report.batches:
+                updates = batch.updates
+                if updates:
+                    reference_pipeline.extend(updates)
+                    reference_pipeline.flush()
+                specs = batch.query_specs
+                if not specs:
+                    continue
+                reference = reference_engine.execute_batch(specs).results
+                for spec, served, expected in zip(
+                    specs, batch.query_results, reference
+                ):
+                    if hasattr(expected, "uids"):
+                        matches = served.uids == expected.uids
+                    else:
+                        matches = [
+                            (round(d, 9), o.uid) for d, o in served.neighbors
+                        ] == [(round(d, 9), o.uid) for d, o in expected.neighbors]
+                    if not matches:
+                        raise AssertionError(
+                            f"service result mismatch for {spec}: "
+                            f"served={served} expected={expected}"
+                        )
+            clone.btree.pool.flush()
+            if list(deployment.items()) != list(clone.btree.items()):
+                raise AssertionError(
+                    "service deployment end state diverged from the "
+                    "direct-replay reference"
+                )
+
+        return ServiceCosts(
+            rate_per_sec=rate_per_sec,
+            arrival=arrival,
+            n_shards=n_shards,
+            profile=latency if isinstance(latency, str) else latency.name,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            n_requests=n_requests,
+            stats=report.stats,
+            pinned=pin,
         )
 
     # ------------------------------------------------------------------

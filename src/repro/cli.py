@@ -15,6 +15,11 @@ Six subcommands cover the library's workflows end to end:
 * ``encode`` — generate a policy workload and run a sequence-value
   encoder; prints timing and assignment statistics (the Figure 11
   experiment in miniature, any encoder).
+* ``serve-sim`` — run an open-loop request stream (Poisson or burst
+  arrivals in virtual time) through the batching service front-end on
+  a timed sharded deployment; prints the throughput-vs-tail-latency
+  sweep across arrival rates (sojourn p50/p95/p99, reads per request,
+  saturation).
 * ``experiment`` — regenerate one figure of the paper's evaluation and
   print its series as a table.
 * ``report`` — regenerate *every* figure and write EXPERIMENTS.md.
@@ -151,6 +156,46 @@ def build_parser() -> argparse.ArgumentParser:
         "thread pool too (virtual times and results are identical)",
     )
     batch_update.add_argument("--seed", type=int, default=7)
+
+    serve = subparsers.add_parser(
+        "serve-sim",
+        help="sweep open-loop arrival rates through the batching service "
+        "front-end on a timed sharded deployment",
+    )
+    serve.add_argument("--users", type=int, default=2000)
+    serve.add_argument("--policies", type=int, default=20)
+    serve.add_argument("--theta", type=float, default=0.7)
+    serve.add_argument("--requests", type=int, default=128,
+                       help="requests per arrival-rate point")
+    serve.add_argument(
+        "--rates",
+        default="500,2000,8000",
+        help="comma-separated arrival rates to sweep (requests/second of "
+        "virtual time)",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "burst"), default="poisson"
+    )
+    serve.add_argument("--max-batch", dest="max_batch", type=int, default=64,
+                       help="admission policy: dispatch when this many wait")
+    serve.add_argument(
+        "--max-wait-us", dest="max_wait_us", type=float, default=2000.0,
+        help="admission policy: dispatch when the oldest waited this long",
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--latency", choices=("hdd", "ssd", "nvme"), default="ssd"
+    )
+    serve.add_argument(
+        "--update-fraction", dest="update_fraction", type=float, default=0.5
+    )
+    serve.add_argument(
+        "--no-pin",
+        dest="pin",
+        action="store_false",
+        help="skip the direct-replay equivalence check (faster sweeps)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
 
     encode = subparsers.add_parser(
         "encode", help="run a sequence-value encoder on a policy workload"
@@ -443,6 +488,68 @@ def run_batch_update(args) -> int:
     return 0
 
 
+def run_serve_sim(args) -> int:
+    config = ExperimentConfig(
+        n_users=args.users,
+        n_policies=args.policies,
+        grouping_factor=args.theta,
+        page_size=1024,
+        seed=args.seed,
+    )
+    rates = sorted({float(rate) for rate in args.rates.split(",")})
+    print(
+        f"Building {config.n_users} users, {config.n_policies} policies/user, "
+        f"theta={config.grouping_factor} ..."
+    )
+    harness = ExperimentHarness(config)
+
+    table = SeriesTable(
+        f"Open-loop service ({args.arrival} arrivals, {args.requests} requests"
+        f"/point, B={args.max_batch}, T={args.max_wait_us:.0f}us, "
+        f"{args.shards} shards, {args.latency})",
+        [
+            "rate (req/s)",
+            "throughput (req/s)",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "mean batch",
+            "reads/req",
+            "saturated",
+        ],
+    )
+    for rate in rates:
+        costs = harness.run_service(
+            rate,
+            n_requests=args.requests,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            arrival=args.arrival,
+            n_shards=args.shards,
+            latency=args.latency,
+            update_fraction=args.update_fraction,
+            pin=args.pin,
+        )
+        stats = costs.stats
+        table.add_row(
+            f"{rate:.0f}",
+            f"{stats.throughput_per_sec:.0f}",
+            f"{stats.overall.p50_us / 1000:.2f}",
+            f"{stats.overall.p95_us / 1000:.2f}",
+            f"{stats.overall.p99_us / 1000:.2f}",
+            f"{stats.mean_batch_size:.1f}",
+            f"{stats.reads_per_request:.2f}",
+            "yes" if stats.saturated else "no",
+        )
+    table.print()
+    if args.pin:
+        print(
+            "\nEvery batch's results verified identical to direct "
+            "pipeline/batch-executor application. OK"
+        )
+    return 0
+
+
 def run_encode(args) -> int:
     rng = random.Random(args.seed)
     generator = PolicyGenerator(1000.0, 1440.0, rng)
@@ -539,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": run_demo,
         "batch-query": run_batch_query,
         "batch-update": run_batch_update,
+        "serve-sim": run_serve_sim,
         "encode": run_encode,
         "experiment": run_experiment,
         "report": run_report,

@@ -113,7 +113,14 @@ class UpdateBuffer:
         self._pending: dict[int, tuple["MovingObject", int]] = {}
 
     def add(self, obj: "MovingObject", pntp: int = 0) -> None:
-        """Buffer one state; a newer state for the same user wins."""
+        """Buffer one state; a newer state for the same user wins.
+
+        A re-added user moves to the *end* of the buffer, so
+        last-write-wins also means last-arrival ordering: the position
+        :meth:`drain` reports is that of the state actually kept, not
+        of a superseded one.
+        """
+        self._pending.pop(obj.uid, None)
         self._pending[obj.uid] = (obj, pntp)
 
     def drain(self) -> list[tuple["MovingObject", int]]:
@@ -121,6 +128,23 @@ class UpdateBuffer:
         drained = list(self._pending.values())
         self._pending.clear()
         return drained
+
+    def restore(self, batch: Iterable[tuple["MovingObject", int]]) -> None:
+        """Put a failed flush's drained states back, ahead of newer ones.
+
+        The drained states predate anything buffered since the drain,
+        so they re-enter at the head of arrival order — except where a
+        newer state for the same user has arrived meanwhile, which wins
+        (and keeps its later position), exactly as if the drain had
+        never happened.
+        """
+        merged: dict[int, tuple["MovingObject", int]] = {}
+        for obj, pntp in batch:
+            merged[obj.uid] = (obj, pntp)
+        for uid, entry in self._pending.items():
+            merged.pop(uid, None)
+            merged[uid] = entry
+        self._pending = merged
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -178,13 +202,39 @@ class UpdatePipeline:
         if len(self.buffer) >= self.capacity:
             self.flush()
 
-    def extend(self, objs: Iterable["MovingObject"]) -> None:
-        """Submit many updates (a drained server queue)."""
-        for obj in objs:
-            self.submit(obj)
+    def extend(
+        self,
+        objs: "Iterable[MovingObject | tuple[MovingObject, int]]",
+        pntps: Iterable[int] | None = None,
+    ) -> None:
+        """Submit many updates (a drained server queue).
+
+        Accepts bare states, ``(state, pntp)`` pairs, or — via
+        ``pntps`` — a parallel iterable of previous-partition labels
+        (must match ``objs`` in length).  Bare states without ``pntps``
+        keep the default label of 0.
+        """
+        if pntps is not None:
+            for obj, pntp in zip(objs, pntps, strict=True):
+                self.submit(obj, pntp)
+            return
+        for item in objs:
+            if isinstance(item, tuple):
+                obj, pntp = item
+                self.submit(obj, pntp)
+            else:
+                self.submit(item)
 
     def flush(self) -> int:
-        """Apply everything buffered as one batch; returns ops applied."""
+        """Apply everything buffered as one batch; returns ops applied.
+
+        A failing batch loses nothing: if ``tree.update_batch`` raises
+        (an injected :class:`repro.storage.faults.DiskFaultError`, a
+        torn page, ...), the drained states are restored to the buffer
+        before the exception propagates, so a retry after the fault
+        clears applies them exactly once.  No stats are recorded and no
+        monitor sees a state from a failed flush.
+        """
         batch = self.buffer.drain()
         if not batch:
             return 0
@@ -198,7 +248,11 @@ class UpdatePipeline:
             # Baseline the per-shard counters before the first flush so
             # the attached breakdown covers exactly this pipeline's I/O.
             self._shard_stats_base = shard_stats()
-        result = self.tree.update_batch(batch)
+        try:
+            result = self.tree.update_batch(batch)
+        except BaseException:
+            self.buffer.restore(batch)
+            raise
         self.stats.flushes += 1
         self.stats.ops += result.ops
         self.stats.in_place_hits += result.in_place

@@ -1,0 +1,49 @@
+"""Open-loop service front-end over the PEB-tree engine.
+
+Turns the repository's closed-loop engine (build a batch, run it, read
+counters) into a *service*: requests arrive on their own virtual-time
+schedule, an admission policy groups them into batches, a single worker
+drives the existing :class:`repro.engine.executor.QueryEngine` and
+:class:`repro.engine.updater.UpdatePipeline` on the shared
+:class:`repro.simio.clock.SimClock`, and per-request sojourn times
+(p50/p95/p99) fall out of the same virtual clock the storage stack
+already charges — the throughput-vs-tail-latency knee the paper's
+"scalable location server" claim lives or dies on.
+"""
+
+from repro.service.arrivals import ARRIVAL_PROCESSES, OpenLoopGenerator
+from repro.service.queue import BatchPolicy, DispatchedBatch, RequestQueue
+from repro.service.requests import (
+    REQUEST_KINDS,
+    ServiceRequest,
+    query_request,
+    update_request,
+)
+from repro.service.stats import (
+    ServiceStats,
+    SojournSummary,
+    build_stats,
+    detect_saturation,
+    percentile,
+)
+from repro.service.worker import BatchOutcome, ServiceReport, SimulatedService
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "BatchOutcome",
+    "BatchPolicy",
+    "DispatchedBatch",
+    "OpenLoopGenerator",
+    "REQUEST_KINDS",
+    "RequestQueue",
+    "ServiceReport",
+    "ServiceRequest",
+    "ServiceStats",
+    "SimulatedService",
+    "SojournSummary",
+    "build_stats",
+    "detect_saturation",
+    "percentile",
+    "query_request",
+    "update_request",
+]

@@ -1,0 +1,225 @@
+"""The service worker: batches through engine + pipeline on one clock.
+
+:class:`SimulatedService` closes the loop between the three existing
+subsystems: a :class:`repro.service.queue.RequestQueue` decides *when*
+a batch dispatches, an :class:`repro.engine.updater.UpdatePipeline`
+applies the batch's location updates, a
+:class:`repro.engine.executor.QueryEngine` (usually the sharded
+scatter/gather subclass) executes its queries, and the shared
+:class:`repro.simio.clock.SimClock` prices all of it — so a request's
+*sojourn* (batch finish instant minus arrival instant) emerges from
+the same virtual-time machinery the storage stack already runs on,
+with no real threads.
+
+Batch semantics, pinned by the property tests: within one batch the
+updates apply first (one pipeline flush), then the queries execute as
+one ``execute_batch`` call — a batch is a consistent snapshot taken
+after its own writes.  Every request of a batch completes at the
+batch's finish instant; the dispatch schedule depends only on arrival
+stamps, the policy, and the measured service times.  Replaying a run's
+recorded batches directly against ``UpdatePipeline`` +
+``execute_batch`` on any equivalent tree therefore reproduces every
+result bit-for-bit — which is exactly how the harness proves the
+service layer is an *orchestration* of the engine, never a different
+engine.
+
+Without a clock (untimed storage) the worker still runs — service
+time is then zero and sojourns measure pure admission delay — so the
+queueing logic is testable without the simio stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.executor import QueryEngine
+from repro.engine.updater import UpdatePipeline
+from repro.service.queue import BatchPolicy, DispatchedBatch, RequestQueue
+from repro.service.stats import ServiceStats, build_stats
+from repro.service.requests import ServiceRequest
+
+if TYPE_CHECKING:
+    from repro.motion.objects import MovingObject
+
+
+@dataclass
+class BatchOutcome:
+    """One dispatched batch, as served.
+
+    Attributes:
+        requests: batch members in arrival order.
+        dispatch_us / finish_us: service start and end instants
+            (relative to the run's time origin).
+        queue_depth: congestion at dispatch (see
+            :class:`DispatchedBatch`).
+        trigger: ``"full"`` or ``"timeout"``.
+        n_updates / n_queries: batch composition.
+        query_results: per-query result objects, in batch order —
+            ``PRQResult`` / ``PKNNResult``, exactly what
+            ``execute_batch`` returned; the replay pin compares
+            against these.
+    """
+
+    requests: list[ServiceRequest]
+    dispatch_us: float
+    finish_us: float
+    queue_depth: int
+    trigger: str
+    n_updates: int
+    n_queries: int
+    query_results: list = field(default_factory=list)
+
+    @property
+    def updates(self) -> "list[tuple[MovingObject, int]]":
+        """The batch's update payloads, in arrival order."""
+        return [
+            (request.update, request.pntp)
+            for request in self.requests
+            if request.is_update
+        ]
+
+    @property
+    def query_specs(self) -> list:
+        """The batch's query specs, in arrival order."""
+        return [
+            request.query for request in self.requests if not request.is_update
+        ]
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one open-loop run.
+
+    Attributes:
+        records: ``(request, dispatch_us, finish_us)`` per request in
+            submission order.
+        batches: every dispatched batch with its results.
+        stats: the aggregated :class:`ServiceStats`.
+    """
+
+    records: list = field(default_factory=list)
+    batches: list[BatchOutcome] = field(default_factory=list)
+    stats: ServiceStats = field(default_factory=ServiceStats)
+
+    def sojourn_us(self, seq: int) -> float:
+        request, _, finish = self.records[seq]
+        if request.seq != seq:
+            raise KeyError(f"no record for request {seq}")
+        return finish - request.arrival_us
+
+
+class SimulatedService:
+    """A single-worker service front-end over one deployment.
+
+    Args:
+        engine: the query engine (sharded or single-tree).
+        pipeline: the update pipeline; must write to the engine's tree.
+        policy: the admission/batching policy.
+        clock: the virtual clock; defaults to the tree's ``sim_clock``
+            (None on untimed storage — admission-only timing).
+    """
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        pipeline: UpdatePipeline,
+        policy: BatchPolicy | None = None,
+        clock=None,
+    ):
+        if pipeline.tree is not engine.tree:
+            raise ValueError("pipeline and engine must share one tree")
+        self.engine = engine
+        self.pipeline = pipeline
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.clock = (
+            clock if clock is not None else getattr(engine.tree, "sim_clock", None)
+        )
+
+    def run(self, requests: Sequence[ServiceRequest]) -> ServiceReport:
+        """Serve one stamped open-loop stream to completion.
+
+        The worker is sequential: batches serve one after another, each
+        starting at ``max(trigger instant, previous finish)``.  Arrival
+        stamps are relative to the run's start; the clock's current
+        horizon is taken as the time origin, so build-time charges
+        never leak into sojourns.
+        """
+        queue = RequestQueue(requests, self.policy)
+        clock = self.clock
+        base = clock.elapsed if clock is not None else 0.0
+        stats = getattr(self.engine.tree, "stats", None)
+        reads_before = stats.physical_reads if stats is not None else 0
+        writes_before = stats.physical_writes if stats is not None else 0
+
+        report = ServiceReport()
+        last_arrival = max(
+            (request.arrival_us for request in requests), default=0.0
+        )
+        backlog_probe = 0
+        free_at = 0.0
+        while (batch := queue.next_batch(free_at)) is not None:
+            outcome = self._serve(batch, base)
+            free_at = outcome.finish_us
+            report.batches.append(outcome)
+            for request in outcome.requests:
+                report.records.append(
+                    (request, outcome.dispatch_us, outcome.finish_us)
+                )
+            if outcome.dispatch_us <= last_arrival:
+                # The most recent dispatch at or before the end of the
+                # arrival stream sees the backlog the stream left behind.
+                backlog_probe = queue.backlog_at(last_arrival)
+
+        report.records.sort(key=lambda record: record[0].seq)
+        report.stats = build_stats(
+            report.records,
+            report.batches,
+            self.policy,
+            backlog_at_last_arrival=backlog_probe,
+            physical_reads=(
+                stats.physical_reads - reads_before if stats is not None else 0
+            ),
+            physical_writes=(
+                stats.physical_writes - writes_before if stats is not None else 0
+            ),
+        )
+        return report
+
+    def _serve(self, batch: DispatchedBatch, base: float) -> BatchOutcome:
+        """Apply one batch — updates first, then queries — and time it."""
+        clock = self.clock
+        if clock is not None:
+            clock.set_cursor(base + batch.dispatch_us)
+
+        updates = [
+            (request.update, request.pntp)
+            for request in batch.requests
+            if request.is_update
+        ]
+        query_specs = [
+            request.query for request in batch.requests if not request.is_update
+        ]
+        if updates:
+            self.pipeline.extend(updates)
+            self.pipeline.flush()
+        query_results: list = []
+        if query_specs:
+            query_results = list(self.engine.execute_batch(query_specs).results)
+
+        finish_us = (
+            clock.cursor() - base if clock is not None else batch.dispatch_us
+        )
+        return BatchOutcome(
+            requests=list(batch.requests),
+            dispatch_us=batch.dispatch_us,
+            finish_us=finish_us,
+            queue_depth=batch.queue_depth,
+            trigger=batch.trigger,
+            n_updates=len(updates),
+            n_queries=len(query_specs),
+            query_results=query_results,
+        )
+
+
+__all__ = ["BatchOutcome", "ServiceReport", "SimulatedService"]

@@ -286,3 +286,49 @@ def test_batch_update_with_latency_and_shards(capsys):
 def test_parser_rejects_unknown_latency_profile():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["batch-query", "--latency", "tape"])
+
+
+def test_serve_sim_sweeps_rates_and_pins(capsys):
+    code = main(
+        [
+            "serve-sim",
+            "--users", "300",
+            "--policies", "6",
+            "--requests", "24",
+            "--rates", "1000,4000",
+            "--max-batch", "8",
+            "--shards", "2",
+            "--latency", "ssd",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Open-loop service (poisson arrivals" in out
+    assert "p99 (ms)" in out
+    assert "reads/req" in out
+    assert out.count("\n        1000") + out.count(" 1000 ") >= 1
+    assert "verified identical to direct" in out
+
+
+def test_serve_sim_burst_without_pin(capsys):
+    code = main(
+        [
+            "serve-sim",
+            "--users", "300",
+            "--policies", "6",
+            "--requests", "16",
+            "--rates", "2000",
+            "--arrival", "burst",
+            "--max-batch", "4",
+            "--no-pin",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "burst arrivals" in out
+    assert "verified identical" not in out
+
+
+def test_parser_rejects_unknown_arrival_process():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve-sim", "--arrival", "uniform"])

@@ -270,6 +270,44 @@ def test_scheduler_without_clock_degrades_to_plain_execution():
     assert ends == [0.0, 0.0]
 
 
+def test_bounded_thread_pool_matches_unbounded_and_sequential():
+    """``max_workers`` smaller than the job count only queues real
+    threads; the virtual schedule — per-job ends, results, and the
+    joined horizon — is identical to an unbounded pool and to a plain
+    sequential loop."""
+    outcomes = {}
+    for label, kwargs in (
+        ("sequential", dict(use_threads=False)),
+        ("unbounded", dict(use_threads=True)),
+        ("bounded", dict(use_threads=True, max_workers=2)),
+        ("single", dict(use_threads=True, max_workers=1)),
+    ):
+        clock, disks = scheduler_world(6)
+        scheduler = IOScheduler(clock, **kwargs)
+        results, ends = scheduler.run_timed([touch(disk) for disk in disks])
+        outcomes[label] = (results, ends, clock.elapsed)
+    for label in ("unbounded", "bounded", "single"):
+        assert outcomes[label] == outcomes["sequential"], label
+
+
+def test_bounded_pool_keeps_deterministic_failure_order():
+    clock, disks = scheduler_world(4)
+
+    def boom(tag, exc_type):
+        def job():
+            disks[tag].read(0)
+            raise exc_type(f"job {tag}")
+
+        return job
+
+    # Two failures; with max_workers=1 the pool serializes the jobs,
+    # and the first failure in *job order* must still be the one raised.
+    with pytest.raises(RuntimeError, match="job 1"):
+        IOScheduler(clock, use_threads=True, max_workers=1).run(
+            [touch(disks[0], 1), boom(1, RuntimeError), boom(2, ValueError)]
+        )
+
+
 # ----------------------------------------------------------------------
 # Stats plumbing
 # ----------------------------------------------------------------------

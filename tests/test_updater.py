@@ -14,8 +14,24 @@ from repro.core.continuous import ContinuousPRQ
 from repro.engine import UpdateBuffer, UpdatePipeline
 from repro.spatial.geometry import Rect
 from repro.workloads.queries import QueryGenerator
+from repro.core.peb_tree import PEBTree
+from repro.motion.partitions import TimePartitioner
+from repro.spatial.grid import Grid
+from repro.storage.buffer import BufferPool
+from repro.storage.faults import DiskFaultError, FaultyDisk
 from tests.test_update_batch_property import _twin_trees
-from tests.test_peb_tree import make_peb, mover
+from tests.test_peb_tree import make_peb, make_store, mover
+
+
+class RecordingMonitor:
+    """A monitor that just logs every state it is shown, in order."""
+
+    def __init__(self):
+        self.seen = []
+
+    def refresh(self, obj):
+        self.seen.append(obj)
+        return True
 
 
 def test_buffer_last_write_wins():
@@ -30,6 +46,33 @@ def test_buffer_last_write_wins():
     by_uid = {obj.uid: (obj, pntp) for obj, pntp in drained}
     assert by_uid[1][0].x == 99.0
     assert by_uid[1][1] == 3
+
+
+def test_buffer_drain_orders_by_last_arrival():
+    """A re-added uid moves to the end: drain order is the arrival
+    order of the states actually kept, not of superseded ones."""
+    buffer = UpdateBuffer()
+    buffer.add(mover(1, x=10.0))
+    buffer.add(mover(2, x=20.0))
+    buffer.add(mover(1, x=99.0))
+    drained = buffer.drain()
+    assert [obj.uid for obj, _ in drained] == [2, 1]
+    assert drained[1][0].x == 99.0
+
+
+def test_buffer_restore_reenters_at_head_without_clobbering_newer():
+    buffer = UpdateBuffer()
+    buffer.add(mover(1, x=1.0))
+    buffer.add(mover(2, x=2.0))
+    drained = buffer.drain()
+    # A newer state for uid 2 arrives between the failed flush's drain
+    # and the restore: it must win, and keep its later position.
+    buffer.add(mover(2, x=22.0))
+    buffer.restore(drained)
+    redrained = buffer.drain()
+    assert [obj.uid for obj, _ in redrained] == [1, 2]
+    assert redrained[0][0].x == 1.0
+    assert redrained[1][0].x == 22.0
 
 
 def test_pipeline_flushes_at_capacity():
@@ -165,6 +208,137 @@ def test_monitor_ignores_non_friends(small_world):
     pipeline.flush()
     assert stranger not in monitor._tracked
     world.peb.update(world.states[stranger])
+
+
+# ----------------------------------------------------------------------
+# Flush failure (fault injection)
+# ----------------------------------------------------------------------
+
+
+def make_faulty_peb(uids=range(10)):
+    """A PEB-tree whose pool sits on a fault-injectable disk."""
+    uids = list(uids)
+    grid = Grid(1000.0, 10)
+    partitioner = TimePartitioner(120.0, 2)
+    store = make_store(uids)
+    disk = FaultyDisk(page_size=1024)
+    pool = BufferPool(disk, capacity=64)
+    return PEBTree(pool, grid, partitioner, store), disk
+
+
+def test_flush_failure_preserves_buffer_and_retry_applies_once():
+    """A DiskFaultError mid-flush must lose nothing: the drained batch
+    re-enters the buffer, no stats or monitors record the failure, and
+    a retry after the fault clears applies every state exactly once."""
+    uids = list(range(10))
+    tree, disk = make_faulty_peb(uids)
+    twin = make_peb(uids)
+    for uid in uids:
+        tree.insert(mover(uid, x=uid * 50.0))
+        twin.insert(mover(uid, x=uid * 50.0))
+    tree.btree.pool.flush()
+    tree.btree.pool.clear()
+
+    pipeline = UpdatePipeline(tree, capacity=64)
+    monitor = RecordingMonitor()
+    pipeline.attach_monitor(monitor)
+    moved = [mover(uid, x=900.0 - uid * 30.0, y=500.0, t=10.0) for uid in uids]
+    pipeline.extend(moved)
+    assert pipeline.pending == len(uids)
+
+    disk.fail_read_pages.update(range(disk.allocated_count))
+    with pytest.raises(DiskFaultError):
+        pipeline.flush()
+    # Nothing lost, nothing recorded, nobody notified.
+    assert pipeline.pending == len(uids)
+    assert pipeline.stats.flushes == 0
+    assert pipeline.stats.ops == 0
+    assert monitor.seen == []
+
+    disk.heal()
+    assert pipeline.flush() == len(uids)
+    assert pipeline.pending == 0
+    assert pipeline.stats.flushes == 1
+    assert pipeline.stats.ops == len(uids)
+    # Exactly once: each state fanned out once, and the tree matches a
+    # twin that applied the round sequentially with no fault.
+    assert [obj.uid for obj in monitor.seen] == [obj.uid for obj in moved]
+    for obj in moved:
+        twin.update(obj)
+    assert list(tree.btree.items()) == list(twin.btree.items())
+    tree.btree.check_invariants()
+
+
+def test_flush_failure_during_capacity_trigger_surfaces_and_retries():
+    """submit()'s capacity-triggered flush propagates the fault but
+    keeps the whole batch (including the tripping state) buffered."""
+    uids = list(range(8))
+    tree, disk = make_faulty_peb(uids)
+    for uid in uids:
+        tree.insert(mover(uid))
+    tree.btree.pool.flush()
+    tree.btree.pool.clear()
+    disk.fail_read_pages.update(range(disk.allocated_count))
+
+    pipeline = UpdatePipeline(tree, capacity=4, flush_on_rollover=False)
+    for uid in range(3):
+        pipeline.submit(mover(uid, x=700.0, t=5.0))
+    with pytest.raises(DiskFaultError):
+        pipeline.submit(mover(3, x=700.0, t=5.0))
+    assert pipeline.pending == 4
+
+    disk.heal()
+    # The next submission trips the capacity trigger again; this time
+    # the batch (old states plus the new one) lands.
+    pipeline.submit(mover(4, x=700.0, t=5.0))
+    assert pipeline.pending == 0
+    assert pipeline.stats.ops == 5
+    tree.btree.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# extend() pntp plumbing and fan-out ordering
+# ----------------------------------------------------------------------
+
+
+def _pntp_by_uid(tree):
+    return {
+        obj.uid: pntp
+        for obj, pntp in (
+            tree.records.unpack(payload) for _, _, payload in tree.btree.items()
+        )
+    }
+
+
+def test_extend_accepts_pairs_and_parallel_pntps():
+    tree = make_peb(range(10))
+    pipeline = UpdatePipeline(tree, capacity=100, flush_on_rollover=False)
+    pipeline.extend([(mover(0), 3), mover(1), (mover(2), 5)])
+    pipeline.extend([mover(3), mover(4)], pntps=[7, 0])
+    pipeline.flush()
+    assert _pntp_by_uid(tree) == {0: 3, 1: 0, 2: 5, 3: 7, 4: 0}
+
+
+def test_extend_rejects_mismatched_pntps():
+    tree = make_peb(range(4))
+    pipeline = UpdatePipeline(tree, capacity=100, flush_on_rollover=False)
+    with pytest.raises(ValueError):
+        pipeline.extend([mover(0), mover(1)], pntps=[1])
+
+
+def test_monitor_fanout_follows_last_arrival_order():
+    """A superseded state's slot moves to the end of the batch: the
+    fan-out order monitors see is the order states actually arrived."""
+    tree = make_peb(range(10))
+    pipeline = UpdatePipeline(tree, capacity=100, flush_on_rollover=False)
+    monitor = RecordingMonitor()
+    pipeline.attach_monitor(monitor)
+    pipeline.submit(mover(1, x=10.0))
+    pipeline.submit(mover(2, x=20.0))
+    pipeline.submit(mover(1, x=99.0))
+    pipeline.flush()
+    assert [obj.uid for obj in monitor.seen] == [2, 1]
+    assert monitor.seen[1].x == 99.0
 
 
 # ----------------------------------------------------------------------
