@@ -2,9 +2,12 @@
 
 Every node must pack into one disk page.  The layouts are:
 
-Leaf page::
+Leaf page (columnar)::
 
-    type:u8  count:u16  next_leaf:i64  count * [key:u{kb*8} uid:u32 value:bytes[vb]]
+    type:u8  count:u16  next_leaf:i64
+    count * key:u{kb*8}    -- packed key column
+    count * uid:u32        -- packed uid column
+    count * value:bytes[vb]-- packed value column
 
 Internal page::
 
@@ -14,6 +17,14 @@ Internal page::
 derived from them in :class:`repro.btree.tree.BTreeConfig`.  Integers are
 big-endian so byte order matches numeric order (useful when debugging
 hexdumps of pages).
+
+Leaves store their three fields as parallel packed columns rather than
+interleaved entries: a page holds exactly the same bytes either way (same
+capacity, same splits, same I/O), but the columnar form decodes straight
+into batch operations — one ``struct.unpack`` for the whole uid column,
+one contiguous payload run handed to the record codec's
+``struct.iter_unpack`` — and a parsed leaf keeps its payloads packed in a
+:class:`repro.btree.node.PackedValues` column, never as per-entry tuples.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from repro.btree.node import (
     LEAF_TYPE,
     InternalNode,
     LeafNode,
+    PackedValues,
 )
 
 _LEAF_HEADER = struct.Struct(">BHq")  # type, count, next_leaf
@@ -82,30 +94,48 @@ class BTreeNodeSerializer:
     # ------------------------------------------------------------------
 
     def _pack_leaf(self, node: LeafNode) -> bytes:
-        parts = [_LEAF_HEADER.pack(LEAF_TYPE, len(node.keys), node.next_leaf)]
-        for (key, uid), value in zip(node.keys, node.values):
-            if len(value) != self.value_bytes:
-                raise ValueError(
-                    f"leaf value is {len(value)} bytes, expected {self.value_bytes}"
-                )
-            parts.append(key.to_bytes(self.key_bytes, "big"))
-            parts.append(_UID.pack(uid))
-            parts.append(value)
+        keys = node.keys
+        values = node.values
+        count = len(keys)
+        if len(values) != count:
+            raise ValueError(
+                f"leaf has {count} keys but {len(values)} values"
+            )
+        kb = self.key_bytes
+        vb = self.value_bytes
+        parts = [
+            _LEAF_HEADER.pack(LEAF_TYPE, count, node.next_leaf),
+            b"".join(key.to_bytes(kb, "big") for key, _ in keys),
+            struct.pack(f">{count}I", *(uid for _, uid in keys)),
+        ]
+        if isinstance(values, PackedValues) and values.stride == vb:
+            parts.append(values.to_bytes())
+        else:
+            chunks = []
+            for value in values:
+                if len(value) != vb:
+                    raise ValueError(
+                        f"leaf value is {len(value)} bytes, expected {vb}"
+                    )
+                chunks.append(value)
+            parts.append(b"".join(chunks))
         return b"".join(parts)
 
     def _parse_leaf(self, image: bytes) -> LeafNode:
         _, count, next_leaf = _LEAF_HEADER.unpack_from(image, 0)
+        kb = self.key_bytes
+        vb = self.value_bytes
         offset = LEAF_HEADER_SIZE
-        keys: list[tuple[int, int]] = []
-        values: list[bytes] = []
-        for _ in range(count):
-            key = int.from_bytes(image[offset : offset + self.key_bytes], "big")
-            offset += self.key_bytes
-            (uid,) = _UID.unpack_from(image, offset)
-            offset += UID_SIZE
-            values.append(image[offset : offset + self.value_bytes])
-            offset += self.value_bytes
-            keys.append((key, uid))
+        key_col = image[offset : offset + count * kb]
+        offset += count * kb
+        uids = struct.unpack_from(f">{count}I", image, offset)
+        offset += count * UID_SIZE
+        from_bytes = int.from_bytes
+        keys = [
+            (from_bytes(key_col[pos : pos + kb], "big"), uid)
+            for pos, uid in zip(range(0, count * kb, kb), uids)
+        ]
+        values = PackedValues(vb, image[offset : offset + count * vb], count=count)
         return LeafNode(keys=keys, values=values, next_leaf=next_leaf)
 
     # ------------------------------------------------------------------
@@ -128,17 +158,15 @@ class BTreeNodeSerializer:
 
     def _parse_internal(self, image: bytes) -> InternalNode:
         _, count = _INTERNAL_HEADER.unpack_from(image, 0)
+        kb = self.key_bytes
+        stride = kb + UID_SIZE
         offset = INTERNAL_HEADER_SIZE
-        separators: list[tuple[int, int]] = []
-        for _ in range(count):
-            key = int.from_bytes(image[offset : offset + self.key_bytes], "big")
-            offset += self.key_bytes
-            (uid,) = _UID.unpack_from(image, offset)
-            offset += UID_SIZE
-            separators.append((key, uid))
-        children: list[int] = []
-        for _ in range(count + 1):
-            (child,) = _CHILD.unpack_from(image, offset)
-            offset += CHILD_SIZE
-            children.append(child)
+        sep_end = offset + count * stride
+        from_bytes = int.from_bytes
+        uid_at = _UID.unpack_from
+        separators = [
+            (from_bytes(image[pos : pos + kb], "big"), uid_at(image, pos + kb)[0])
+            for pos in range(offset, sep_end, stride)
+        ]
+        children = list(struct.unpack_from(f">{count + 1}q", image, sep_end))
         return InternalNode(separators=separators, children=children)

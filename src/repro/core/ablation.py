@@ -62,6 +62,12 @@ class ZVFirstKeyCodec(PEBKeyCodec):
         """ZV sits in the middle of this layout: shift past SV, mask."""
         return (key >> self.sv_bits) & self._zv_mask
 
+    def zvs_of(self, keys: "list[tuple[int, int]]") -> list[int]:
+        """Batched :meth:`zv_of` for the ZV-middle layout."""
+        shift = self.sv_bits
+        mask = self._zv_mask
+        return [(key >> shift) & mask for key, _ in keys]
+
 
 def make_zv_first_tree(pool, grid, partitioner, store, sv_bits=32, sv_scale=128):
     """A PEB-tree whose keys put location above policy proximity."""

@@ -123,6 +123,16 @@ class PEBKeyCodec:
         """
         return key & self._zv_mask
 
+    def zvs_of(self, keys: "list[tuple[int, int]]") -> list[int]:
+        """Batched :meth:`zv_of` over one leaf run's composite keys.
+
+        One mask load and one comprehension per leaf instead of a
+        method call per row — the packed band scan's ZV column.
+        Layout variants must override this in step with :meth:`zv_of`.
+        """
+        mask = self._zv_mask
+        return [key & mask for key, _ in keys]
+
     def search_range(
         self, tid: int, sv: float, z_lo: int, z_hi: int
     ) -> tuple[int, int]:

@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.btree.tree import BatchOp, BPlusTree, BTreeConfig
+from repro.btree.tree import MAX_UID, BatchOp, BPlusTree, BTreeConfig
 from repro.core.peb_key import DEFAULT_SV_BITS, DEFAULT_SV_SCALE, PEBKeyCodec
 from repro.motion.objects import MovingObject, ObjectRecordCodec
+from repro.motion.rows import BandRows
 from repro.motion.partitions import TimePartitioner
 from repro.policy.store import PolicyStore
 from repro.spatial.grid import Grid
@@ -218,10 +219,15 @@ class PEBTree:
     def _scan_speed_maxima(self) -> tuple[float, float]:
         """Greatest |vx| and |vy| among the indexed entries."""
         max_vx = max_vy = 0.0
-        for _, _, payload in self.btree.items():
-            obj, _ = self.records.unpack(payload)
-            max_vx = max(max_vx, abs(obj.vx))
-            max_vy = max(max_vy, abs(obj.vy))
+        unpack_records = self.records.unpack_records
+        for _, run in self.btree.leaf_runs():
+            for rec in unpack_records(run):
+                vx = abs(rec[3])
+                vy = abs(rec[4])
+                if vx > max_vx:
+                    max_vx = vx
+                if vy > max_vy:
+                    max_vy = vy
         return max_vx, max_vy
 
     def check_consistency(self, repair: bool = False) -> list[str]:
@@ -244,11 +250,12 @@ class PEBTree:
         problems: list[str] = []
         seen: dict[int, int] = {}
         max_vx = max_vy = 0.0
-        for key, uid, payload in self.btree.items():
-            obj, _ = self.records.unpack(payload)
-            seen[uid] = key
-            max_vx = max(max_vx, abs(obj.vx))
-            max_vy = max(max_vy, abs(obj.vy))
+        unpack_records = self.records.unpack_records
+        for keys, run in self.btree.leaf_runs():
+            for (key, uid), rec in zip(keys, unpack_records(run)):
+                seen[uid] = key
+                max_vx = max(max_vx, abs(rec[3]))
+                max_vy = max(max_vy, abs(rec[4]))
         for uid, key in seen.items():
             memo_key = self._live_keys.get(uid)
             if memo_key is None:
@@ -379,8 +386,16 @@ class PEBTree:
         return self.btree.pool.stats
 
     def fetch_all(self) -> list[MovingObject]:
-        """Every indexed object state (diagnostic full scan)."""
-        return [self.records.unpack(value)[0] for _, _, value in self.btree.items()]
+        """Every indexed object state (diagnostic full scan).
+
+        Decodes each leaf's payload run in one ``iter_unpack`` pass —
+        no per-entry unpack or ``(obj, pntp)`` tuple allocations.
+        """
+        unpack_many = self.records.unpack_many
+        out: list[MovingObject] = []
+        for _, run in self.btree.leaf_runs():
+            out.extend(obj for obj, _ in unpack_many(run))
+        return out
 
     # ------------------------------------------------------------------
     # Scan primitives shared by the query engine
@@ -403,13 +418,44 @@ class PEBTree:
         for key, _, payload in self.btree.scan_range(lo, hi):
             yield zv_of(key), unpack(payload)[0]
 
+    def scan_band_rows(
+        self, tid: int, sv_lo_q: int, sv_hi_q: int, z_lo: int, z_hi: int
+    ) -> BandRows:
+        """One band as packed columns (:class:`repro.motion.rows.BandRows`).
+
+        The batched twin of :meth:`scan_band`: same entries, same
+        order, same page traffic (both walk the identical leaf chain),
+        but decoded per leaf run — one masked comprehension extracts
+        the ZV column from each key slice, one ``struct.iter_unpack``
+        pass decodes the payload run — and the returned rows
+        materialize :class:`MovingObject` states lazily, only for
+        entries a consumer actually touches.  The engine's band scanner
+        uses this end to end; :meth:`scan_band` remains the per-entry
+        reference path.
+        """
+        lo = self.codec.compose_quantized(tid, sv_lo_q, z_lo)
+        hi = self.codec.compose_quantized(tid, sv_hi_q, z_hi)
+        zvs: list[int] = []
+        records: list[tuple] = []
+        zvs_of = self.codec.zvs_of
+        unpack_records = self.records.unpack_records
+        for keys, run in self.btree.scan_chunks((lo, 0), (hi, MAX_UID)):
+            zvs += zvs_of(keys)
+            records += unpack_records(run)
+        return BandRows(zvs, records)
+
     def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
         """Yield object states with this exact (quantized) SV and a
         Z-value in ``[z_lo, z_hi]`` inside partition ``tid``.
 
         One search range of Section 5.3:
-        ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.
+        ``[TID ⊕ SV ⊕ ZV_lo ; TID ⊕ SV ⊕ ZV_hi]``.  Decoded one leaf
+        run at a time through the batched codec (still lazy per leaf).
         """
         sv_q = self.codec.quantize_sv(sv)
-        for _, obj in self.scan_band(tid, sv_q, sv_q, z_lo, z_hi):
-            yield obj
+        lo = self.codec.compose_quantized(tid, sv_q, z_lo)
+        hi = self.codec.compose_quantized(tid, sv_q, z_hi)
+        unpack_many = self.records.unpack_many
+        for _, run in self.btree.scan_chunks((lo, 0), (hi, MAX_UID)):
+            for obj, _ in unpack_many(run):
+                yield obj

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from repro.core.peb_tree import PEBTree
 from repro.engine import BandScanner, CandidateVerifier, QueryPlanner
 from repro.motion.objects import MovingObject
+from repro.motion.rows import BandRows
 from repro.spatial.decompose import ZInterval, subtract_interval
 from repro.spatial.geometry import Rect, euclidean
 
@@ -138,10 +139,20 @@ class _MatrixSearch:
             distance = euclidean(self.qx, self.qy, x, y)
             self.candidates[obj.uid] = (distance, obj)
 
+    def _admit_qualifying(self, obj: MovingObject, x: float, y: float) -> bool:
+        """admit_rows callback: rank one qualifying candidate, never stop."""
+        distance = euclidean(self.qx, self.qy, x, y)
+        self.candidates[obj.uid] = (distance, obj)
+        return False
+
     def _scan_pieces(self, sv: float, pieces: list[ZInterval], tid: int) -> None:
         for z_lo, z_hi in pieces:
-            for _, obj in self.scanner.scan(self.planner.band(tid, sv, z_lo, z_hi)):
-                self._consider(obj)
+            rows = self.scanner.scan(self.planner.band(tid, sv, z_lo, z_hi))
+            if isinstance(rows, BandRows):
+                self.verifier.admit_rows(rows, on_qualify=self._admit_qualifying)
+            else:
+                for _, obj in rows:
+                    self._consider(obj)
 
     def scan_cell(self, row: int, round_index: int) -> None:
         """Scan matrix cell (friend ``row``, column ``round_index``)."""

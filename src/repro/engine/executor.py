@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.engine.plan import QueryPlan, QueryPlanner
 from repro.engine.scanner import BandScanner
 from repro.engine.verify import CandidateVerifier
+from repro.motion.rows import BandRows
 from repro.spatial.geometry import Rect
 from repro.workloads.queries import KnnQuerySpec, RangeQuerySpec
 
@@ -124,10 +125,21 @@ class BatchReport:
 
 
 class QueryEngine:
-    """The unified privacy-aware query engine over one PEB-tree."""
+    """The unified privacy-aware query engine over one PEB-tree.
 
-    def __init__(self, tree: "PEBTree"):
+    Args:
+        tree: the index to query.
+        packed_scan: scan bands as packed :class:`BandRows` columns and
+            verify candidates in batched form (the default).  False
+            restores the per-entry object-at-a-time path — kept as the
+            reference the benchmarks and property tests pin the packed
+            path against; results and every counter are identical
+            either way.
+    """
+
+    def __init__(self, tree: "PEBTree", packed_scan: bool = True):
         self.tree = tree
+        self.packed_scan = packed_scan
         self.planner = QueryPlanner(tree)
 
     # ------------------------------------------------------------------
@@ -172,7 +184,11 @@ class QueryEngine:
         ``on_match`` may stop the whole execution early by returning
         True (the ``at_least`` aggregate).
         """
-        scanner = scanner if scanner is not None else BandScanner(self.tree)
+        scanner = (
+            scanner
+            if scanner is not None
+            else BandScanner(self.tree, packed=self.packed_scan)
+        )
         verifier = CandidateVerifier(self.tree.store, plan.q_uid, plan.t_query)
         clock = getattr(self.tree, "sim_clock", None)
         elapsed_before = clock.elapsed if clock is not None else 0.0
@@ -181,19 +197,25 @@ class QueryEngine:
         scans_before = scanner.physical_scans
         deduped_before = scanner.deduped
         stopped = False
+        located = verifier.located
         for planned in plan.bands:
-            if planned.friend_uid is not None and verifier.seen(planned.friend_uid):
+            friend_uid = planned.friend_uid
+            if friend_uid is not None and friend_uid in located:
                 continue
-            for _, obj in scanner.scan(planned.band):
-                hit = verifier.admit(obj, within=plan.window)
-                if hit is None:
-                    continue
-                x, y, qualifies = hit
-                if not qualifies:
-                    continue
-                if on_match is not None and on_match(obj, x, y):
-                    stopped = True
-                    break
+            rows = scanner.scan(planned.band)
+            if isinstance(rows, BandRows):
+                stopped = verifier.admit_rows(rows, plan.window, on_match)
+            else:
+                for _, obj in rows:
+                    hit = verifier.admit(obj, within=plan.window)
+                    if hit is None:
+                        continue
+                    x, y, qualifies = hit
+                    if not qualifies:
+                        continue
+                    if on_match is not None and on_match(obj, x, y):
+                        stopped = True
+                        break
             if stopped:
                 break
         stats = ExecutionStats(
@@ -222,16 +244,29 @@ class QueryEngine:
         Only users actually holding a policy about the issuer are
         returned — entries merely sharing a quantized SV are dropped.
         """
-        scanner = scanner if scanner is not None else BandScanner(self.tree)
+        scanner = (
+            scanner
+            if scanner is not None
+            else BandScanner(self.tree, packed=self.packed_scan)
+        )
         plan = self.planner.plan_seed(q_uid)
         store = self.tree.store
         tracked: dict[int, "MovingObject"] = {}
         for planned in plan.bands:
             if planned.friend_uid in tracked:
                 continue
-            for _, obj in scanner.scan(planned.band):
-                if obj.uid not in tracked and store.policies_for(obj.uid, q_uid):
-                    tracked[obj.uid] = obj
+            rows = scanner.scan(planned.band)
+            if isinstance(rows, BandRows):
+                # Columnar fast path: the policy probe needs only the
+                # uid, so states materialize just for tracked friends.
+                for i, rec in enumerate(rows.records):
+                    uid = rec[0]
+                    if uid not in tracked and store.policies_for(uid, q_uid):
+                        tracked[uid] = rows.object_at(i)
+            else:
+                for _, obj in rows:
+                    if obj.uid not in tracked and store.policies_for(obj.uid, q_uid):
+                        tracked[obj.uid] = obj
         return tracked
 
     # ------------------------------------------------------------------
@@ -337,7 +372,7 @@ class QueryEngine:
         identical, which is what keeps sharded results pinned to the
         single-tree path.
         """
-        return BandScanner(self.tree)
+        return BandScanner(self.tree, packed=self.packed_scan)
 
     def _timing(self):
         """``(clock, model)`` when the tree runs on timed devices."""

@@ -30,7 +30,7 @@ the overlapping ones, and serve every issuer from one physical scan
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.bxtree.queries import enlargement_for_label, estimate_knn_distance
 from repro.spatial.geometry import Rect
@@ -39,9 +39,11 @@ if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
 
 
-@dataclass(frozen=True)
-class BandRequest:
+class BandRequest(NamedTuple):
     """One key-contiguous scan request against the PEB-tree.
+
+    A NamedTuple rather than a dataclass: plans allocate one per
+    (partition, friend), so construction cost is on the per-query path.
 
     Attributes:
         tid: time-partition id the band lives in.
@@ -62,9 +64,9 @@ class BandRequest:
         return self.sv_lo_q == self.sv_hi_q
 
     @property
-    def key(self) -> tuple[int, int, int, int, int]:
-        """Hashable identity used for scan memoization."""
-        return (self.tid, self.sv_lo_q, self.sv_hi_q, self.z_lo, self.z_hi)
+    def key(self) -> "BandRequest":
+        """Hashable identity used for scan memoization (the tuple itself)."""
+        return self
 
 
 @dataclass(frozen=True)
@@ -81,8 +83,7 @@ class PartitionContext:
         return rect.expanded(self.dx, self.dy)
 
 
-@dataclass(frozen=True)
-class PlannedBand:
+class PlannedBand(NamedTuple):
     """A band request annotated with the friend it serves.
 
     ``friend_uid`` is None for bands not tied to a single friend (the
@@ -179,15 +180,20 @@ class QueryPlanner:
         contexts = self.contexts(t_query)
         bands: list[PlannedBand] = []
         if friends:
+            quantize_sv = self.tree.codec.quantize_sv
+            quantized = [(quantize_sv(sv), uid) for sv, uid in friends]
             for context in contexts:
                 span = self.tree.grid.z_span(context.enlarged(window))
                 if span is None:
                     continue
                 z_lo, z_hi = span
-                for sv, friend_uid in friends:
-                    bands.append(
-                        PlannedBand(friend_uid, self.band(context.tid, sv, z_lo, z_hi))
+                tid = context.tid
+                bands.extend(
+                    PlannedBand(
+                        friend_uid, BandRequest(tid, sv_q, sv_q, z_lo, z_hi)
                     )
+                    for sv_q, friend_uid in quantized
+                )
         return QueryPlan(
             q_uid=q_uid,
             t_query=t_query,

@@ -26,9 +26,17 @@ scans fall through to the memo/physical tiers — those are
 layout-agnostic, so batch results stay identical to sequential on any
 codec.
 
-Entries are returned as ``(zv, object)`` pairs in key order, exactly the
-order a direct ``scan_sv_zrange`` would yield, so replaying a plan
-against the scanner is observationally identical to scanning the tree.
+By default the scanner runs *packed*: physical scans go through the
+tree's ``scan_band_rows`` and every tier stores and serves
+:class:`repro.motion.rows.BandRows` — parallel (zv, record) columns
+whose ``MovingObject`` states materialize lazily, only for entries a
+verifier actually admits.  ``BandRows`` iterates as ``(zv, object)``
+pairs in key order, exactly the sequence a direct ``scan_sv_zrange``
+would yield, so replaying a plan against the scanner is observationally
+identical to scanning the tree whether a consumer uses the columns or
+the legacy pair protocol.  Constructing with ``packed=False`` (or a
+tree without ``scan_band_rows``) restores the per-entry generator path,
+kept as the benchmark reference.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Iterable
 
 from repro.engine.plan import BandRequest
+from repro.motion.rows import BandRows
 from repro.spatial.decompose import ZInterval, merge_intervals
 
 if TYPE_CHECKING:
@@ -50,6 +59,12 @@ class BandScanner:
     query adapters create a fresh scanner per query, the batch executor
     shares one scanner across every query of the batch.
 
+    Args:
+        tree: the index to scan.
+        packed: serve scans as :class:`BandRows` columns (the default);
+            trees without a ``scan_band_rows`` fast path fall back to
+            the per-entry protocol automatically.
+
     Attributes:
         requests: band requests received via :meth:`scan`.
         physical_scans: scans that reached the tree (including prefetch
@@ -58,16 +73,19 @@ class BandScanner:
         store_hits: requests served from the prefetched band store.
     """
 
-    def __init__(self, tree: "PEBTree"):
+    def __init__(self, tree: "PEBTree", packed: bool = True):
         self.tree = tree
+        self.packed = bool(packed) and hasattr(tree, "scan_band_rows")
         self.requests = 0
         self.physical_scans = 0
         self.memo_hits = 0
         self.store_hits = 0
-        self._memo: dict[tuple, list] = {}
-        # (tid, sv_q) -> (coverage intervals, sorted zvs, entries); the
-        # zvs list mirrors entries for bisection.
-        self._store: dict[tuple[int, int], tuple[list[ZInterval], list[int], list]] = {}
+        self._memo: dict[tuple, "BandRows | list"] = {}
+        # (tid, sv_q) -> (coverage intervals, sorted zvs, rows); the
+        # zvs list mirrors the rows for bisection.
+        self._store: dict[
+            tuple[int, int], tuple[list[ZInterval], list[int], "BandRows | list"]
+        ] = {}
 
     @property
     def deduped(self) -> int:
@@ -78,21 +96,22 @@ class BandScanner:
     # Scanning
     # ------------------------------------------------------------------
 
-    def scan(self, band: BandRequest) -> list:
-        """All entries of one band, as ``(zv, object)`` pairs in key order."""
+    def scan(self, band: BandRequest) -> "BandRows | list":
+        """All entries of one band, as ``(zv, object)`` rows in key order."""
         self.requests += 1
-        cached = self._memo.get(band.key)
+        key = band.key
+        cached = self._memo.get(key)
         if cached is not None:
             self.memo_hits += 1
             return cached
-        if band.is_single_sv:
+        if band.sv_lo_q == band.sv_hi_q:
             served = self._from_store(band)
             if served is not None:
                 self.store_hits += 1
-                self._memo[band.key] = served
+                self._memo[key] = served
                 return served
         rows = self._physical_scan(band)
-        self._memo[band.key] = rows
+        self._memo[key] = rows
         return rows
 
     def prefetch(self, bands: Iterable[BandRequest]) -> None:
@@ -115,34 +134,46 @@ class BandScanner:
                 )
         for (tid, sv_q), intervals in grouped.items():
             coverage = merge_intervals(sorted(intervals))
-            entries: list = []
-            for z_lo, z_hi in coverage:
-                entries.extend(
-                    self._physical_scan(BandRequest(tid, sv_q, sv_q, z_lo, z_hi))
+            parts = [
+                self._physical_scan(BandRequest(tid, sv_q, sv_q, z_lo, z_hi))
+                for z_lo, z_hi in coverage
+            ]
+            # Physical scan order is key order, so the concatenation is
+            # already sorted by (zv, uid) and bisectable by zv.
+            if self.packed:
+                rows = BandRows.concat(parts) if parts else BandRows.empty()
+                self._store[(tid, sv_q)] = (coverage, rows.zvs, rows)
+            else:
+                entries = [entry for part in parts for entry in part]
+                self._store[(tid, sv_q)] = (
+                    coverage,
+                    [zv for zv, _ in entries],
+                    entries,
                 )
-            # Physical scan order is key order, so `entries` is already
-            # sorted by (zv, uid) and bisectable by zv.
-            self._store[(tid, sv_q)] = (coverage, [zv for zv, _ in entries], entries)
 
     # ------------------------------------------------------------------
     # Tiers
     # ------------------------------------------------------------------
 
-    def _from_store(self, band: BandRequest) -> list | None:
+    def _from_store(self, band: BandRequest) -> "BandRows | list | None":
         """Serve a band from the prefetched store, or None if uncovered."""
         stored = self._store.get((band.tid, band.sv_lo_q))
         if stored is None:
             return None
-        coverage, zvs, entries = stored
+        coverage, zvs, rows = stored
         for z_lo, z_hi in coverage:
             if z_lo <= band.z_lo and band.z_hi <= z_hi:
                 lo = bisect_left(zvs, band.z_lo)
                 hi = bisect_right(zvs, band.z_hi)
-                return entries[lo:hi]
+                return rows[lo:hi]
         return None
 
-    def _physical_scan(self, band: BandRequest) -> list:
+    def _physical_scan(self, band: BandRequest) -> "BandRows | list":
         self.physical_scans += 1
+        if self.packed:
+            return self.tree.scan_band_rows(
+                band.tid, band.sv_lo_q, band.sv_hi_q, band.z_lo, band.z_hi
+            )
         return list(
             self.tree.scan_band(
                 band.tid, band.sv_lo_q, band.sv_hi_q, band.z_lo, band.z_hi

@@ -18,10 +18,11 @@ and omits ``within``.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:
     from repro.motion.objects import MovingObject
+    from repro.motion.rows import BandRows
     from repro.policy.store import PolicyStore
     from repro.spatial.geometry import Rect
 
@@ -41,6 +42,9 @@ class CandidateVerifier:
         self.t_query = t_query
         self.located: set[int] = set()
         self.candidates_examined = 0
+        # Lazily-built owner -> visible-region bounds for (q_uid, t_query),
+        # shared by every admit_rows call this query makes.
+        self._visible: "dict[int, tuple] | None" = None
 
     def seen(self, uid: int) -> bool:
         """True when the user was already located (skip-rule predicate)."""
@@ -67,6 +71,74 @@ class CandidateVerifier:
         if within is not None and not within.contains(x, y):
             return x, y, False
         return x, y, self.store.evaluate(obj.uid, self.q_uid, x, y, self.t_query)
+
+    def admit_rows(
+        self,
+        rows: "BandRows",
+        within: "Rect | None" = None,
+        on_qualify: "Callable[[MovingObject, float, float], bool] | None" = None,
+    ) -> bool:
+        """Batched :meth:`admit` over one band's decoded columns.
+
+        One pass over ``rows.records`` replaces a per-object call
+        chain: identical located-set updates, candidate counting,
+        window test, and policy evaluation, in scan order, without
+        constructing a ``MovingObject`` per row (the location is
+        extrapolated straight from the decoded record fields, with the
+        same arithmetic as ``position_at``).  ``on_qualify(obj, x, y)``
+        runs inline for each qualifying row — the object materializes
+        here, lazily, so only qualifying rows ever pay for one — and
+        may return True to stop the scan immediately; rows after the
+        stop are neither located nor counted, exactly as breaking out
+        of the per-entry loop leaves them.  Returns True when stopped
+        early.
+        """
+        located = self.located
+        t_query = self.t_query
+        visible = self._visible
+        if visible is None:
+            # The time condition is constant across the query, so the
+            # policy directory collapses to one small dict for the whole
+            # verification pass (see PolicyStore.visibility_map).
+            visible = self._visible = self.store.visibility_map(
+                self.q_uid, t_query
+            )
+        bounds_of = visible.get
+        windowed = within is not None
+        if windowed:
+            w_xlo = within.x_lo
+            w_xhi = within.x_hi
+            w_ylo = within.y_lo
+            w_yhi = within.y_hi
+        examined = 0
+        try:
+            for i, (uid, x0, y0, vx, vy, t0, _pntp) in enumerate(rows.records):
+                if uid in located:
+                    continue
+                located.add(uid)
+                examined += 1
+                dt = t_query - t0
+                x = x0 + vx * dt
+                y = y0 + vy * dt
+                if windowed and not (
+                    w_xlo <= x <= w_xhi and w_ylo <= y <= w_yhi
+                ):
+                    continue
+                bounds = bounds_of(uid)
+                if bounds is None:
+                    continue
+                for x_lo, x_hi, y_lo, y_hi in bounds:
+                    if x_lo <= x <= x_hi and y_lo <= y <= y_hi:
+                        break
+                else:
+                    continue
+                if on_qualify is not None and on_qualify(
+                    rows.object_at(i), x, y
+                ):
+                    return True
+            return False
+        finally:
+            self.candidates_examined += examined
 
 
 __all__ = ["CandidateVerifier"]

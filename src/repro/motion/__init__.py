@@ -11,15 +11,19 @@ maximum-update-interval Δt_mu.
   fixed-width leaf-record codec shared by the Bx-tree and PEB-tree.
 * :mod:`repro.motion.partitions` — label timestamps and index partitions
   (Equation 2 and Figure 1).
+* :mod:`repro.motion.rows` — columnar band-scan rows with lazy object
+  materialization (the batched scan path's result type).
 * :mod:`repro.motion.update_policy` — deviation/deadline update triggers
   used by the workload generators.
 """
 
 from repro.motion.objects import MovingObject, ObjectRecordCodec
 from repro.motion.partitions import TimePartitioner
+from repro.motion.rows import BandRows
 from repro.motion.update_policy import UpdatePolicy
 
 __all__ = [
+    "BandRows",
     "MovingObject",
     "ObjectRecordCodec",
     "TimePartitioner",

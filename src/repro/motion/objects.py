@@ -72,3 +72,25 @@ class ObjectRecordCodec:
         """Deserialize into ``(object_state, pntp)``."""
         uid, x, y, vx, vy, t_update, pntp = self._RECORD.unpack(payload)
         return MovingObject(uid=uid, x=x, y=y, vx=vx, vy=vy, t_update=t_update), pntp
+
+    def unpack_records(self, run: bytes) -> list[tuple]:
+        """Decode a contiguous payload run into raw field tuples.
+
+        One C-level pass (``struct.iter_unpack``) over ``len(run) / 48``
+        consecutive records; each tuple is ``(uid, x, y, vx, vy,
+        t_update, pntp)``.  The batched scan path operates on these
+        directly, materializing :class:`MovingObject` states lazily and
+        only for entries that reach a query result.
+        """
+        return list(self._RECORD.iter_unpack(run))
+
+    def unpack_many(self, run: bytes) -> list[tuple[MovingObject, int]]:
+        """Decode a contiguous payload run into ``(object, pntp)`` pairs.
+
+        The eager batched twin of calling :meth:`unpack` per entry —
+        one ``iter_unpack`` pass instead of a Struct call per record.
+        """
+        return [
+            (MovingObject(uid, x, y, vx, vy, t_update), pntp)
+            for uid, x, y, vx, vy, t_update, pntp in self._RECORD.iter_unpack(run)
+        ]

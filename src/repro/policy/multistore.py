@@ -59,6 +59,8 @@ class MultiPolicyStore(PolicyStore):
                 raise ValueError(f"user {viewer} cannot hold a policy about itself")
             self.roles.assign(policy.owner, policy.role, viewer)
             self._policies.setdefault((policy.owner, viewer), []).append(policy)
+            by_owner = self._policies_by_viewer[viewer]
+            by_owner[policy.owner] = by_owner.get(policy.owner, ()) + (policy,)
             self._owners_by_viewer[viewer].add(policy.owner)
             self._viewers_by_owner[policy.owner].add(viewer)
 

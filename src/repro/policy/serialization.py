@@ -109,6 +109,8 @@ def store_from_dict(payload: dict) -> PolicyStore:
                 )
             store._policies[pair] = policy
         store.roles.assign(owner, policy.role, viewer)
+        by_owner = store._policies_by_viewer[viewer]
+        by_owner[owner] = by_owner.get(owner, ()) + (policy,)
         store._owners_by_viewer[viewer].add(owner)
         store._viewers_by_owner[owner].add(viewer)
 

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator
 
 from repro.policy.lpp import LocationPrivacyPolicy
 from repro.policy.roles import RoleRegistry
-from repro.policy.timeset import DEFAULT_TIME_DOMAIN
+from repro.policy.timeset import DEFAULT_TIME_DOMAIN, fold
 from repro.policy.translation import SemanticLocationRegistry
 
 
@@ -44,6 +44,14 @@ class PolicyStore:
         self._policies: dict[tuple[int, int], LocationPrivacyPolicy] = {}
         self._owners_by_viewer: dict[int, set[int]] = defaultdict(set)
         self._viewers_by_owner: dict[int, set[int]] = defaultdict(set)
+        # Viewer-major mirror of _policies (owner -> policy tuple per
+        # viewer): the query-time directory.  A verifier resolves one
+        # viewer's visibility over thousands of candidates, so probing a
+        # small per-viewer dict replaces hashing a (owner, viewer) tuple
+        # into the full policy table for every candidate.
+        self._policies_by_viewer: dict[
+            int, dict[int, tuple[LocationPrivacyPolicy, ...]]
+        ] = defaultdict(dict)
         self._sequence_values: dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -76,6 +84,7 @@ class PolicyStore:
                 )
             self.roles.assign(policy.owner, policy.role, viewer)
             self._policies[pair] = policy
+            self._policies_by_viewer[viewer][policy.owner] = (policy,)
             self._owners_by_viewer[viewer].add(policy.owner)
             self._viewers_by_owner[policy.owner].add(viewer)
 
@@ -112,6 +121,37 @@ class PolicyStore:
         if policy is None:
             return False
         return policy.admits(x, y, t, self.time_domain)
+
+    def visibility_map(
+        self, viewer: int, t: float
+    ) -> dict[int, tuple[tuple[float, float, float, float], ...]]:
+        """Regions where each owner is visible to ``viewer`` at instant ``t``.
+
+        A query verifies every candidate at the same ``t_query``, so the
+        time condition of Definition 2 is a per-policy constant for the
+        whole query: this resolves it once and returns, for each owner
+        with at least one time-admitting policy toward ``viewer``, the
+        ``(x_lo, x_hi, y_lo, y_hi)`` bounds of those policies' ``locr``
+        regions.  A candidate at ``(x, y)`` then passes
+        :meth:`evaluate` exactly when its owner maps to a bounds tuple
+        containing the point — the batched verifier's per-row check.
+        Dispatches through :meth:`policies_for`, so multi-policy stores
+        inherit the any-policy-admits semantics unchanged.
+        """
+        folded = fold(t, self.time_domain)
+        visible: dict[int, tuple[tuple[float, float, float, float], ...]] = {}
+        directory = self._policies_by_viewer.get(viewer)
+        if directory is None:
+            return visible
+        for owner, policies in directory.items():
+            bounds = []
+            for policy in policies:
+                if policy.tint.contains(folded):
+                    locr = policy.locr
+                    bounds.append((locr.x_lo, locr.x_hi, locr.y_lo, locr.y_hi))
+            if bounds:
+                visible[owner] = tuple(bounds)
+        return visible
 
     def pair_compatibility(self, u: int, v: int, space_area: float):
         """C(u, v) for the pair, per this store's policy semantics.

@@ -41,6 +41,7 @@ from typing import Iterable
 from repro.engine.executor import BatchReport, QueryEngine
 from repro.engine.plan import BandRequest
 from repro.engine.scanner import BandScanner
+from repro.motion.rows import BandRows
 from repro.shard.tree import ShardedPEBTree
 from repro.simio.scheduler import IOScheduler
 
@@ -68,6 +69,7 @@ class ShardScatterScanner:
         parallel: bool = False,
         max_workers: int | None = None,
         scheduler: IOScheduler | None = None,
+        packed: bool = True,
     ):
         self.tree = sharded
         self.scheduler = (
@@ -79,7 +81,8 @@ class ShardScatterScanner:
                 max_workers=max_workers,
             )
         )
-        self.scanners = [BandScanner(tree) for tree in sharded.trees]
+        self.packed = packed
+        self.scanners = [BandScanner(tree, packed=packed) for tree in sharded.trees]
         self.requests = 0
         self.shard_ends: dict[int, float] = {}
         self.prefetch_base = 0.0
@@ -123,16 +126,19 @@ class ShardScatterScanner:
             self._parts_memo[band.key] = parts
         return parts
 
-    def scan(self, band: BandRequest) -> list:
+    def scan(self, band: BandRequest) -> "BandRows | list":
         """All entries of one band, gathered across shards in key order."""
         self.requests += 1
         parts = self._split(band)
         if len(parts) == 1:
             shard, sub = parts[0]
             return self.scanners[shard].scan(sub)
+        results = [self.scanners[shard].scan(sub) for shard, sub in parts]
+        if all(isinstance(result, BandRows) for result in results):
+            return BandRows.concat(results)
         rows: list = []
-        for shard, sub in parts:
-            rows.extend(self.scanners[shard].scan(sub))
+        for result in results:
+            rows.extend(result)
         return rows
 
     def prefetch(self, bands: Iterable[BandRequest]) -> None:
@@ -212,8 +218,9 @@ class ShardedQueryEngine(QueryEngine):
         parallel_prefetch: bool | None = None,
         max_workers: int | None = None,
         pipeline_verify: bool = True,
+        packed_scan: bool = True,
     ):
-        super().__init__(sharded)
+        super().__init__(sharded, packed_scan=packed_scan)
         if parallel_prefetch is None:
             parallel_prefetch = sharded.io.use_threads
         self.parallel_prefetch = parallel_prefetch
@@ -231,6 +238,7 @@ class ShardedQueryEngine(QueryEngine):
             self.tree,
             parallel=self.parallel_prefetch,
             max_workers=self.max_workers,
+            packed=self.packed_scan,
         )
 
     # ------------------------------------------------------------------

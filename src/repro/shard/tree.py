@@ -37,6 +37,7 @@ from repro.core.peb_tree import (
 )
 from repro.engine.plan import BandRequest
 from repro.motion.objects import MovingObject
+from repro.motion.rows import BandRows
 from repro.shard.router import ShardRouter
 from repro.shard.stats import ShardStats
 from repro.simio.clock import SimClock
@@ -385,11 +386,29 @@ class ShardedPEBTree:
                 sub.tid, sub.sv_lo_q, sub.sv_hi_q, sub.z_lo, sub.z_hi
             )
 
+    def scan_band_rows(
+        self, tid: int, sv_lo_q: int, sv_hi_q: int, z_lo: int, z_hi: int
+    ) -> BandRows:
+        """One band as packed columns, gathered across shards.
+
+        Sub-scans run per shard through each tree's batched fast path
+        and concatenate in ascending shard order — inside one TID that
+        is ascending key order, so the result is row-identical to a
+        single tree's :meth:`repro.core.peb_tree.PEBTree.scan_band_rows`.
+        """
+        band = BandRequest(tid, sv_lo_q, sv_hi_q, z_lo, z_hi)
+        parts = [
+            self.trees[shard].scan_band_rows(
+                sub.tid, sub.sv_lo_q, sub.sv_hi_q, sub.z_lo, sub.z_hi
+            )
+            for shard, sub in self.router.split_band(band)
+        ]
+        return BandRows.concat(parts) if parts else BandRows.empty()
+
     def scan_sv_zrange(self, tid: int, sv: float, z_lo: int, z_hi: int):
         """Single-SV convenience scan, mirroring the single tree's."""
         sv_q = self.codec.quantize_sv(sv)
-        for _, obj in self.scan_band(tid, sv_q, sv_q, z_lo, z_hi):
-            yield obj
+        yield from self.scan_band_rows(tid, sv_q, sv_q, z_lo, z_hi).objects()
 
     def items(self):
         """Every ``(key, uid, payload)`` entry merged in global key order."""
@@ -399,9 +418,23 @@ class ShardedPEBTree:
         )
 
     def fetch_all(self) -> list[MovingObject]:
-        """Every indexed object state, in global key order."""
-        records = self.records
-        return [records.unpack(payload)[0] for _, _, payload in self.items()]
+        """Every indexed object state, in global key order.
+
+        Each shard decodes its leaves in batched ``iter_unpack`` runs;
+        the per-shard streams merge by composite key, so no entry pays
+        a per-payload unpack or a discarded ``(obj, pntp)`` tuple.
+        """
+
+        def shard_entries(tree):
+            unpack_many = tree.records.unpack_many
+            for keys, run in tree.btree.leaf_runs():
+                yield from zip(keys, (obj for obj, _ in unpack_many(run)))
+
+        merged = heapq.merge(
+            *(shard_entries(tree) for tree in self.trees),
+            key=lambda entry: entry[0],
+        )
+        return [obj for _, obj in merged]
 
     # ------------------------------------------------------------------
     # Audits

@@ -23,7 +23,11 @@ from repro.storage.disk import SimulatedDisk
 from repro.storage.stats import IOStats
 
 MAGIC = b"REPRODSK"
-VERSION = 1
+#: Snapshot format version.  Bumped to 2 when leaf pages switched from
+#: interleaved entries to packed key/uid/value columns: raw page images
+#: written by version-1 builds parse into garbage under the columnar
+#: layout, so old snapshots must be rejected, not misread.
+VERSION = 2
 
 _HEADER = struct.Struct(">8sIIQQ")
 _PAGE_HEADER = struct.Struct(">QI")
