@@ -1297,6 +1297,11 @@ class ExperimentHarness:
         parallel_io: bool = True,
         workload_seed: int = 0,
         pin: bool = True,
+        disk_factory=None,
+        fault_policy=None,
+        breaker_policy=None,
+        shed_after_us: float | None = None,
+        arm_faults=None,
     ) -> ServiceCosts:
         """Serve one open-loop request stream and report sojourn SLOs.
 
@@ -1316,6 +1321,21 @@ class ExperimentHarness:
         index contents are asserted identical.  The service layer is
         thereby proven an orchestration of the engine: batching and
         virtual time change the schedule, never a result.
+
+        ``disk_factory`` / ``fault_policy`` / ``breaker_policy`` build a
+        fault-tolerant deployment (see ``ShardedPEBTree.build``);
+        ``shed_after_us`` turns on admission-queue load shedding.  Under
+        *transient* fault schedules the pin still holds (retry makes
+        runs bit-identical); pass ``pin=False`` for quarantine
+        scenarios, where deferred updates and dropped sub-bands make the
+        served results an honest subset rather than a replica.
+
+        ``arm_faults(deployment)`` is called after build and bulk
+        insert, just before the stream is served — the window where
+        fault injection belongs (builds are unsupervised).  If it
+        returns a callable, that is invoked after the run and before
+        the pin's audit scan (heal the disks there so the audit reads
+        clean).
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -1358,6 +1378,9 @@ class ExperimentHarness:
             buffer_policy=self.config.buffer_policy,
             latency=latency,
             parallel_io=parallel_io,
+            disk_factory=disk_factory,
+            fault_policy=fault_policy,
+            breaker_policy=breaker_policy,
         )
         for uid in sorted(self.states):
             deployment.insert(self.states[uid])
@@ -1366,13 +1389,20 @@ class ExperimentHarness:
             pool.resize(per_shard_pages)
         deployment.stats.reset()
 
-        admission = BatchPolicy(max_batch=max_batch, max_wait_us=max_wait_us)
+        admission = BatchPolicy(
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            shed_after_us=shed_after_us,
+        )
         service = SimulatedService(
             ShardedQueryEngine(deployment),
             UpdatePipeline(deployment, capacity=batch_size),
             admission,
         )
+        disarm = arm_faults(deployment) if arm_faults is not None else None
         report = service.run(stream)
+        if callable(disarm):
+            disarm()
 
         if pin:
             clone = clone_peb_tree(

@@ -42,6 +42,38 @@ DISK_FILE = "disk.bin"
 META_FILE = "meta.json.gz"
 
 
+class CheckpointError(ValueError):
+    """A checkpoint directory could not be read as a valid checkpoint.
+
+    Raised for a wrong format marker, an unsupported version, or a
+    truncated/corrupted metadata file.  Loading never leaves a partial
+    tree behind: the error is raised before any tree object exists.
+    """
+
+
+def _read_meta(directory: str) -> dict:
+    """Parse and validate a checkpoint's metadata file."""
+    path = os.path.join(directory, META_FILE)
+    try:
+        with open(path, "rb") as handle:
+            meta = json.loads(gzip.decompress(handle.read()))
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint metadata at {path}") from None
+    except (OSError, EOFError, gzip.BadGzipFile, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"unreadable checkpoint metadata at {path}: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"malformed checkpoint metadata at {path}")
+    if meta.get("format") != FORMAT:
+        raise CheckpointError(f"not a PEB checkpoint: {meta.get('format')!r}")
+    if meta.get("version") != VERSION:
+        raise CheckpointError(
+            f"checkpoint version {meta.get('version')}, this build reads {VERSION}"
+        )
+    return meta
+
+
 def save_peb_tree(tree: PEBTree, directory: str) -> None:
     """Write a restorable checkpoint of ``tree`` into ``directory``.
 
@@ -101,15 +133,7 @@ def load_peb_tree(
             enlargements, so stale values silently drop query results;
             see :meth:`repro.core.peb_tree.PEBTree.check_consistency`.
     """
-    with open(os.path.join(directory, META_FILE), "rb") as handle:
-        meta = json.loads(gzip.decompress(handle.read()))
-    if meta.get("format") != FORMAT:
-        raise ValueError(f"not a PEB checkpoint: {meta.get('format')!r}")
-    if meta.get("version") != VERSION:
-        raise ValueError(
-            f"checkpoint version {meta.get('version')}, this build reads {VERSION}"
-        )
-
+    meta = _read_meta(directory)
     disk = load_disk(os.path.join(directory, DISK_FILE))
     pool = BufferPool(disk, capacity=buffer_pages)
     store = store_from_dict(meta["store"])
@@ -154,6 +178,70 @@ def load_peb_tree(
         max_speed_y=meta["max_speed"]["y"],
         recompute_speeds=recompute_speeds,
     )
+
+
+def restore_peb_tree_state(directory: str, tree: PEBTree) -> None:
+    """Restore a *live* tree in place from a checkpoint of itself.
+
+    Unlike :func:`load_peb_tree`, nothing is rebuilt: the tree keeps
+    its pool, its disk (with whatever wrapper stack — timing, fault
+    injection, checksums — it runs under), and its shared policy
+    store/grid/partitioner, which are read-only during operation and
+    assumed unchanged since the checkpoint.  What restores is the
+    mutable state: every page image is rewritten *through* the wrapper
+    stack (so checksums refresh and the recovery I/O is honestly
+    priced), pages allocated after the checkpoint are freed, the pool
+    is invalidated (its cached frames describe the abandoned state),
+    and the B+-tree metadata, update memo, and speed maxima roll back
+    to the checkpointed values.
+
+    This is the quarantined-shard recovery primitive
+    (:class:`repro.shard.recovery.ShardCheckpointer`): a shard whose
+    on-disk state is corrupt gets its images rewritten wholesale.
+    Raises :class:`CheckpointError` for an unreadable or mismatched
+    checkpoint; write faults from a still-unhealthy disk propagate.
+    """
+    meta = _read_meta(directory)
+    codec_meta = meta["codec"]
+    if (
+        codec_meta["tid_count"] != tree.codec.tid_count
+        or codec_meta["sv_bits"] != tree.codec.sv_bits
+        or codec_meta["zv_bits"] != tree.codec.zv_bits
+        or codec_meta["sv_scale"] != tree.codec.sv_scale
+    ):
+        raise CheckpointError(
+            "checkpoint codec geometry does not match the live tree"
+        )
+    snapshot = load_disk(os.path.join(directory, DISK_FILE))
+
+    pool = tree.btree.pool
+    pool.invalidate()
+    disk = pool.disk
+    base = disk
+    while hasattr(base, "inner"):
+        base = base.inner
+    # Allocation counters only grow; a snapshot can never reference a
+    # page the live disk has not allocated, but post-checkpoint pages
+    # the snapshot lacks must be freed.
+    base._next_page_id = max(base._next_page_id, snapshot.allocated_count)
+    for page_id in range(base.allocated_count):
+        if base.contains(page_id) and not snapshot.contains(page_id):
+            disk.free(page_id)
+    for page_id, image in sorted(snapshot._pages.items()):
+        disk.write(page_id, image)
+
+    btree_meta = meta["btree"]
+    tree.btree.root_id = btree_meta["root_id"]
+    tree.btree.first_leaf_id = btree_meta["first_leaf_id"]
+    tree.btree.height = btree_meta["height"]
+    tree.btree.entry_count = btree_meta["entry_count"]
+    tree.btree.leaf_count = btree_meta["leaf_count"]
+    tree._live_keys.clear()
+    tree._live_keys.update(
+        {int(uid): key for uid, key in meta["live_keys"].items()}
+    )
+    tree.max_speed_x = meta["max_speed"]["x"]
+    tree.max_speed_y = meta["max_speed"]["y"]
 
 
 def clone_peb_tree(

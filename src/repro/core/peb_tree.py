@@ -44,6 +44,10 @@ class BatchUpdateResult:
     moved: int = 0
     inserted: int = 0
     leaves_visited: int = 0
+    #: Updates NOT applied because their shard was quarantined (the
+    #: original :data:`UpdateItem` values, for re-buffering); the
+    #: counters above exclude them.
+    deferred: list = field(default_factory=list)
 
     @property
     def sequential_descents(self) -> int:

@@ -37,6 +37,7 @@ from repro.workloads.queries import KnnQuerySpec, RangeQuerySpec
 
 if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
+    from repro.fault.stats import FaultStats
     from repro.motion.objects import MovingObject
     from repro.shard.stats import ShardStats
 
@@ -64,6 +65,9 @@ class ExecutionStats:
         shard_stats: per-shard breakdown of this execution's I/O when
             it ran on a sharded deployment (None on a single tree);
             entries are point-in-time.
+        fault_stats: fault-handling events of this execution
+            (:class:`repro.fault.stats.FaultStats` delta) when the
+            deployment carries a shard supervisor; None otherwise.
         virtual_time_us: simulated elapsed time of this execution in
             virtual microseconds, when the tree runs on timed devices
             (:mod:`repro.simio`); 0.0 on untimed storage.  Overlapped
@@ -82,6 +86,7 @@ class ExecutionStats:
     candidates_examined: int = 0
     physical_reads: int = 0
     shard_stats: "ShardStats | None" = None
+    fault_stats: "FaultStats | None" = None
     virtual_time_us: float = 0.0
 
     @property
@@ -118,10 +123,16 @@ class BatchReport:
             comparable to the output of :func:`repro.core.prq.prq` and
             :func:`repro.core.pknn.pknn` on the same spec.
         stats: batch-level scan accounting (the dedup headline).
+        degraded: per-spec flags, in spec order — True when the query's
+            result was served with at least one sub-band dropped by a
+            quarantined shard (complete-minus-dropped-shards, never
+            wrong-by-inclusion).  All False on fault-free runs and on
+            deployments without a supervisor.
     """
 
     results: list = field(default_factory=list)
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    degraded: list = field(default_factory=list)
 
 
 class QueryEngine:
@@ -336,6 +347,7 @@ class QueryEngine:
         report = BatchReport()
         self._begin_replay(scanner)
         for spec, plan in zip(specs, plans):
+            drops_before = self._drop_marker(scanner)
             if plan is not None:
                 result = prq_from_plan(self, plan, scanner)
             else:
@@ -352,6 +364,7 @@ class QueryEngine:
             self._charge_verify(result, plan, scanner)
             report.stats.candidates_examined += result.candidates_examined
             report.results.append(result)
+            report.degraded.append(self._drop_marker(scanner) > drops_before)
         self._end_replay(scanner)
 
         report.stats.bands_requested = scanner.requests
@@ -384,6 +397,16 @@ class QueryEngine:
 
     def _begin_replay(self, scanner) -> None:
         """Hook before the batch's replay loop (timing setup point)."""
+
+    def _drop_marker(self, scanner) -> int:
+        """Monotone drop counter read before/after each replayed query.
+
+        A query whose replay advanced the marker was served degraded
+        (some sub-band dropped by a quarantined shard).  The base
+        engine never drops anything; the sharded engine reads its
+        scatter scanner's ``dropped_subbands``.
+        """
+        return 0
 
     def _charge_verify(self, result, plan, scanner) -> None:
         """Charge one replayed query's verification CPU in virtual time.

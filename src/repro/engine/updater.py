@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol
 
 if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
+    from repro.fault.stats import FaultStats
     from repro.motion.objects import MovingObject
     from repro.shard.stats import ShardStats
 
@@ -64,9 +65,16 @@ class UpdateStats:
             flushes.
         physical_writes: pages written back during flushes (dirty
             evictions; a final pool flush is the harness's business).
+        deferred: states a flush re-buffered because their shard was
+            quarantined (each re-buffering counts; the state applies —
+            and lands in ``ops`` — on a later flush once the shard
+            recovers).
         shard_stats: per-shard I/O since the pipeline's first flush
             when it writes to a sharded deployment (None on a single
             tree); entries are point-in-time.
+        fault_stats: fault-handling events since the pipeline's first
+            flush (:class:`repro.fault.stats.FaultStats` delta) when
+            the deployment carries a shard supervisor; None otherwise.
         virtual_time_us: simulated elapsed time of the flushes in
             virtual microseconds, when the tree runs on timed devices
             (:mod:`repro.simio`); 0.0 on untimed storage.  Per-shard
@@ -81,9 +89,11 @@ class UpdateStats:
     flushes: int = 0
     leaves_visited: int = 0
     descents_saved: int = 0
+    deferred: int = 0
     physical_reads: int = 0
     physical_writes: int = 0
     shard_stats: "ShardStats | None" = None
+    fault_stats: "FaultStats | None" = None
     virtual_time_us: float = 0.0
 
     @property
@@ -184,6 +194,7 @@ class UpdatePipeline:
         self._monitors: list[UpdateMonitor] = []
         self._last_tid: int | None = None
         self._shard_stats_base = None
+        self._fault_stats_base = None
 
     # ------------------------------------------------------------------
     # Submission
@@ -234,6 +245,14 @@ class UpdatePipeline:
         before the exception propagates, so a retry after the fault
         clears applies them exactly once.  No stats are recorded and no
         monitor sees a state from a failed flush.
+
+        A fault-tolerant sharded deployment extends the invariant to
+        shard granularity: ``update_batch`` returns normally with the
+        quarantined shards' states in ``result.deferred``, which are
+        restored to the buffer (ahead of newer arrivals, same
+        last-write-wins merge) and excluded from stats and monitor
+        fan-out — they apply exactly once, on a flush after the shard
+        recovers.
         """
         batch = self.buffer.drain()
         if not batch:
@@ -248,11 +267,23 @@ class UpdatePipeline:
             # Baseline the per-shard counters before the first flush so
             # the attached breakdown covers exactly this pipeline's I/O.
             self._shard_stats_base = shard_stats()
+        supervisor = getattr(self.tree, "supervisor", None)
+        if supervisor is not None and self._fault_stats_base is None:
+            self._fault_stats_base = supervisor.stats.copy()
         try:
             result = self.tree.update_batch(batch)
         except BaseException:
             self.buffer.restore(batch)
             raise
+        deferred_uids: set[int] = set()
+        deferred = getattr(result, "deferred", None)
+        if deferred:
+            pairs = [
+                item if isinstance(item, tuple) else (item, 0) for item in deferred
+            ]
+            deferred_uids = {obj.uid for obj, _ in pairs}
+            self.buffer.restore(pairs)
+            self.stats.deferred += len(pairs)
         self.stats.flushes += 1
         self.stats.ops += result.ops
         self.stats.in_place_hits += result.in_place
@@ -266,7 +297,13 @@ class UpdatePipeline:
             self.stats.virtual_time_us += clock.elapsed - elapsed_before
         if callable(shard_stats):
             self.stats.shard_stats = shard_stats().delta_from(self._shard_stats_base)
+        if supervisor is not None:
+            self.stats.fault_stats = supervisor.stats.delta_from(
+                self._fault_stats_base
+            )
         for obj, _ in batch:
+            if obj.uid in deferred_uids:
+                continue  # not applied; the monitor sees it post-recovery
             for monitor in self._monitors:
                 monitor.refresh(obj)
         return result.ops

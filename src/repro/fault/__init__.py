@@ -1,0 +1,38 @@
+"""Fault tolerance for the sharded deployment.
+
+The storage layer injects faults (:mod:`repro.storage.faults`); this
+package decides what the system *does* about them.  Four pieces, each
+usable on its own:
+
+* :class:`repro.fault.retry.RetryPolicy` — capped attempts and
+  exponential backoff with deterministic jitter, priced in virtual
+  microseconds on the deployment's :class:`repro.simio.clock.SimClock`
+  so retries show up in request sojourns.
+* :class:`repro.fault.breaker.CircuitBreaker` — the classic
+  closed → open → half-open state machine, one per shard.
+* :class:`repro.fault.stats.FaultStats` — the accounting block that
+  rides on ``ExecutionStats`` / ``UpdateStats`` / ``ServiceStats``.
+* :class:`repro.fault.supervisor.ShardSupervisor` — composes the three
+  at the per-shard job boundary: retry a failing shard job, quarantine
+  the shard on exhaustion, probe it after a cooldown.
+
+The design contract, property-pinned by the test suite: under any
+transient fault schedule that eventually clears, retried results are
+bit-identical to the fault-free run; under quarantine, results equal
+the fault-free results minus exactly the quarantined shards'
+contributions, with every dropped sub-band counted.
+"""
+
+from repro.fault.breaker import BreakerPolicy, CircuitBreaker
+from repro.fault.retry import RETRYABLE_ERRORS, RetryPolicy
+from repro.fault.stats import FaultStats
+from repro.fault.supervisor import ShardSupervisor
+
+__all__ = [
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FaultStats",
+    "RETRYABLE_ERRORS",
+    "RetryPolicy",
+    "ShardSupervisor",
+]

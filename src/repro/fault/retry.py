@@ -1,0 +1,136 @@
+"""Retry with deterministic, virtual-time-priced exponential backoff.
+
+A retry costs two things: the re-executed work (the storage stack
+charges it exactly as it charges any access) and the *backoff* spent
+waiting before the attempt.  The backoff is priced on the deployment's
+:class:`repro.simio.clock.SimClock` via ``clock.advance`` — CPU-like
+idle time on the calling context — so a retried shard job finishes
+later in virtual time and the delay propagates into batch finish
+instants and request sojourns with no extra machinery.
+
+Jitter is deterministic: a CRC-32 hash of ``(attempt, token)`` scales
+the exponential term, so two shards backing off from the same attempt
+number desynchronize (the point of jitter) while every run of the same
+schedule reproduces the same virtual timeline (the point of this
+repository).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.storage.faults import CorruptPageError, DiskFaultError
+
+#: Errors the retry layer treats as faults of the *medium* — anything
+#: else (a KeyError from a corrupt plan, an assertion) is a bug in the
+#: caller and propagates unchanged.
+RETRYABLE_ERRORS = (DiskFaultError, CorruptPageError)
+
+T = TypeVar("T")
+
+
+class RetryExhaustedError(Exception):
+    """Every allowed attempt failed; the last fault is chained."""
+
+    def __init__(self, token: object, attempts: int, last_error: Exception):
+        super().__init__(
+            f"operation {token!r} failed after {attempts} attempts: {last_error}"
+        )
+        self.token = token
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped attempts with exponential, jittered backoff.
+
+    Attributes:
+        max_attempts: total tries, the first included (``1`` disables
+            retrying).
+        base_backoff_us: backoff before the second attempt.
+        multiplier: exponential growth per subsequent attempt.
+        max_backoff_us: backoff cap before jitter.
+        jitter: fractional headroom added deterministically per
+            ``(attempt, token)`` — ``0.25`` stretches each backoff by
+            up to 25%.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: float = 200.0
+    multiplier: float = 2.0
+    max_backoff_us: float = 20_000.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_us < 0:
+            raise ValueError(
+                f"base_backoff_us must be >= 0, got {self.base_backoff_us}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_us(self, attempt: int, token: object = 0) -> float:
+        """Backoff after failed attempt ``attempt`` (1-based), in µs."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_backoff_us * self.multiplier ** (attempt - 1)
+        raw = min(raw, self.max_backoff_us)
+        if self.jitter:
+            digest = zlib.crc32(f"{attempt}:{token}".encode("utf-8"))
+            raw *= 1.0 + self.jitter * (digest / 2**32)
+        return raw
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    clock=None,
+    token: object = 0,
+    on_fault: "Callable[[int, Exception, float], None] | None" = None,
+) -> T:
+    """Run ``fn`` under ``policy``; raise :class:`RetryExhaustedError`
+    when every attempt fails with a retryable error.
+
+    Args:
+        fn: the operation; must be safe to re-run after a fault (the
+            callers guarantee this — read-only scans trivially, write
+            sweeps via the buffer pool's sweep guard).
+        policy: attempt cap and backoff shape.
+        clock: optional :class:`repro.simio.clock.SimClock`; backoff is
+            charged to the calling context via ``advance`` so retries
+            lengthen the virtual timeline.  Without a clock the backoff
+            is computed (for accounting) but costs nothing.
+        token: jitter/diagnostic identity (the shard id, typically).
+        on_fault: ``(attempt, error, backoff_us)`` callback per caught
+            fault; ``backoff_us`` is 0.0 for the final, exhausting one.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except RETRYABLE_ERRORS as exc:
+            if attempt >= policy.max_attempts:
+                if on_fault is not None:
+                    on_fault(attempt, exc, 0.0)
+                raise RetryExhaustedError(token, attempt, exc) from exc
+            backoff = policy.backoff_us(attempt, token=token)
+            if on_fault is not None:
+                on_fault(attempt, exc, backoff)
+            if clock is not None and backoff > 0:
+                clock.advance(backoff)
+            attempt += 1
+
+
+__all__ = [
+    "RETRYABLE_ERRORS",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "call_with_retry",
+]

@@ -41,6 +41,12 @@ class BatchPolicy:
         max_wait_us: dispatch when the oldest waiting request has
             waited this long, even if the batch is not full (``0``
             dispatches immediately on arrival).
+        shed_after_us: drop a request instead of serving it once it has
+            queued this long at its batch's dispatch instant (None, the
+            default, never sheds).  Shedding is the last rung of
+            graceful degradation: under a fault-slowed worker the queue
+            answers some requests not-at-all rather than all of them
+            arbitrarily late, keeping the served tail bounded.
 
     Bigger batches amortize physical I/O across more requests (fewer
     reads per op); smaller batches and shorter waits bound the batching
@@ -50,12 +56,17 @@ class BatchPolicy:
 
     max_batch: int = 64
     max_wait_us: float = 2000.0
+    shed_after_us: float | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_us < 0:
             raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.shed_after_us is not None and self.shed_after_us <= 0:
+            raise ValueError(
+                f"shed_after_us must be positive, got {self.shed_after_us}"
+            )
 
 
 @dataclass
@@ -72,12 +83,16 @@ class DispatchedBatch:
             instant, batch members included (the congestion signal).
         trigger: ``"full"`` (size trigger) or ``"timeout"`` (time
             trigger).
+        shed: requests dropped at this dispatch under the policy's
+            ``shed_after_us`` deadline (never served; a batch may be
+            empty when everything waiting was shed).
     """
 
     requests: list[ServiceRequest] = field(default_factory=list)
     dispatch_us: float = 0.0
     queue_depth: int = 0
     trigger: str = "full"
+    shed: list[ServiceRequest] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -173,6 +188,25 @@ class RequestQueue:
         self._absorb_until(dispatch_us, batch_cap)
 
         batch = DispatchedBatch(dispatch_us=dispatch_us, trigger=trigger_kind)
+        deadline = self.policy.shed_after_us
+        if deadline is not None:
+            # Pending is in arrival order, so over-deadline requests are
+            # a head prefix.  Shedding frees cap room, which may admit
+            # further (older-than-deadline) stream arrivals — iterate
+            # until the pending set is stable.  A batch may end up
+            # empty: everything waiting was shed.
+            while True:
+                shed_any = False
+                while (
+                    self._pending
+                    and dispatch_us - self._pending[0].arrival_us > deadline
+                ):
+                    batch.shed.append(self._pending.popleft())
+                    shed_any = True
+                before = len(self._pending)
+                self._absorb_until(dispatch_us, batch_cap)
+                if not shed_any and len(self._pending) == before:
+                    break
         for _ in range(min(batch_cap, len(self._pending))):
             batch.requests.append(self._pending.popleft())
         # Depth counts every arrived-but-unserved request at dispatch:

@@ -97,6 +97,16 @@ class ServiceStats:
             docstring for the detection rule).
         physical_reads / physical_writes: page-level I/O of the whole
             run, from the deployment's counters.
+        n_shed: requests dropped by the admission queue under the
+            policy's ``shed_after_us`` deadline (never served; excluded
+            from ``n_requests`` and the sojourn summaries).
+        degraded_queries: queries answered with at least one sub-band
+            dropped by a quarantined shard (served, honest, incomplete).
+        unapplied_updates: update states still buffered (deferred by
+            quarantined shards) when the run ended.
+        fault_stats: fault-handling events of the run
+            (:class:`repro.fault.stats.FaultStats` delta) when the
+            deployment carries a shard supervisor; None otherwise.
     """
 
     n_requests: int = 0
@@ -114,12 +124,32 @@ class ServiceStats:
     saturated: bool = False
     physical_reads: int = 0
     physical_writes: int = 0
+    n_shed: int = 0
+    degraded_queries: int = 0
+    unapplied_updates: int = 0
+    fault_stats: object = None
 
     @property
     def mean_batch_size(self) -> float:
         if self.n_batches == 0:
             return 0.0
         return self.n_requests / self.n_batches
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests fully honored.
+
+        Offered = served + shed; honored = served minus updates still
+        deferred at run end.  Degraded-but-answered queries count as
+        available — they returned an honest (flagged) subset, which is
+        the graceful-degradation contract — while shed requests and
+        unapplied updates do not.  1.0 on a fault-free run.
+        """
+        offered = self.n_requests + self.n_shed
+        if offered == 0:
+            return 1.0
+        honored = self.n_requests - self.unapplied_updates
+        return max(0.0, honored / offered)
 
     @property
     def reads_per_request(self) -> float:
@@ -160,6 +190,13 @@ class ServiceStats:
             "physical_reads": self.physical_reads,
             "physical_writes": self.physical_writes,
             "reads_per_request": self.reads_per_request,
+            "n_shed": self.n_shed,
+            "degraded_queries": self.degraded_queries,
+            "unapplied_updates": self.unapplied_updates,
+            "availability": self.availability,
+            "fault_stats": (
+                self.fault_stats.snapshot() if self.fault_stats is not None else None
+            ),
         }
 
 
@@ -196,6 +233,10 @@ def build_stats(
     backlog_at_last_arrival: int,
     physical_reads: int = 0,
     physical_writes: int = 0,
+    n_shed: int = 0,
+    degraded_queries: int = 0,
+    unapplied_updates: int = 0,
+    fault_stats=None,
 ) -> ServiceStats:
     """Assemble :class:`ServiceStats` from a finished run.
 
@@ -208,6 +249,9 @@ def build_stats(
         policy: the batching policy the run used.
         backlog_at_last_arrival: probe taken by the worker.
         physical_reads / physical_writes: deployment counter deltas.
+        n_shed / degraded_queries / unapplied_updates / fault_stats:
+            the worker's degradation accounting (see
+            :class:`ServiceStats`).
     """
     sojourns = [finish - request.arrival_us for request, _, finish in records]
     by_class: dict[str, list[float]] = {kind: [] for kind in REQUEST_KINDS}
@@ -255,6 +299,10 @@ def build_stats(
         saturated=detect_saturation(sojourns, backlog_at_last_arrival, policy),
         physical_reads=physical_reads,
         physical_writes=physical_writes,
+        n_shed=n_shed,
+        degraded_queries=degraded_queries,
+        unapplied_updates=unapplied_updates,
+        fault_stats=fault_stats,
     )
     return stats
 

@@ -59,6 +59,11 @@ class BatchOutcome:
             ``PRQResult`` / ``PKNNResult``, exactly what
             ``execute_batch`` returned; the replay pin compares
             against these.
+        shed: requests the admission queue dropped at this dispatch
+            (never served).
+        degraded: per-query flags in batch order, True when the query
+            was answered with a quarantined shard's sub-bands dropped
+            (empty without a fault-tolerant deployment).
     """
 
     requests: list[ServiceRequest]
@@ -69,6 +74,8 @@ class BatchOutcome:
     n_updates: int
     n_queries: int
     query_results: list = field(default_factory=list)
+    shed: list[ServiceRequest] = field(default_factory=list)
+    degraded: list = field(default_factory=list)
 
     @property
     def updates(self) -> "list[tuple[MovingObject, int]]":
@@ -96,11 +103,14 @@ class ServiceReport:
             submission order.
         batches: every dispatched batch with its results.
         stats: the aggregated :class:`ServiceStats`.
+        shed: requests the admission queue dropped (never served, never
+            in ``records``), in shed order.
     """
 
     records: list = field(default_factory=list)
     batches: list[BatchOutcome] = field(default_factory=list)
     stats: ServiceStats = field(default_factory=ServiceStats)
+    shed: list[ServiceRequest] = field(default_factory=list)
 
     def sojourn_us(self, seq: int) -> float:
         request, _, finish = self.records[seq]
@@ -152,6 +162,9 @@ class SimulatedService:
         reads_before = stats.physical_reads if stats is not None else 0
         writes_before = stats.physical_writes if stats is not None else 0
 
+        supervisor = getattr(self.engine.tree, "supervisor", None)
+        faults_before = supervisor.stats.copy() if supervisor is not None else None
+
         report = ServiceReport()
         last_arrival = max(
             (request.arrival_us for request in requests), default=0.0
@@ -159,6 +172,10 @@ class SimulatedService:
         backlog_probe = 0
         free_at = 0.0
         while (batch := queue.next_batch(free_at)) is not None:
+            report.shed.extend(batch.shed)
+            if not batch.requests:
+                # Everything waiting was shed; the worker never started.
+                continue
             outcome = self._serve(batch, base)
             free_at = outcome.finish_us
             report.batches.append(outcome)
@@ -183,6 +200,17 @@ class SimulatedService:
             physical_writes=(
                 stats.physical_writes - writes_before if stats is not None else 0
             ),
+            n_shed=len(report.shed),
+            degraded_queries=sum(
+                sum(1 for flag in outcome.degraded if flag)
+                for outcome in report.batches
+            ),
+            unapplied_updates=self.pipeline.pending,
+            fault_stats=(
+                supervisor.stats.delta_from(faults_before)
+                if supervisor is not None
+                else None
+            ),
         )
         return report
 
@@ -192,34 +220,31 @@ class SimulatedService:
         if clock is not None:
             clock.set_cursor(base + batch.dispatch_us)
 
-        updates = [
-            (request.update, request.pntp)
-            for request in batch.requests
-            if request.is_update
-        ]
-        query_specs = [
-            request.query for request in batch.requests if not request.is_update
-        ]
+        outcome = BatchOutcome(
+            requests=list(batch.requests),
+            dispatch_us=batch.dispatch_us,
+            finish_us=batch.dispatch_us,
+            queue_depth=batch.queue_depth,
+            trigger=batch.trigger,
+            n_updates=0,
+            n_queries=0,
+            shed=list(batch.shed),
+        )
+        updates = outcome.updates
+        query_specs = outcome.query_specs
+        outcome.n_updates = len(updates)
+        outcome.n_queries = len(query_specs)
         if updates:
             self.pipeline.extend(updates)
             self.pipeline.flush()
-        query_results: list = []
         if query_specs:
-            query_results = list(self.engine.execute_batch(query_specs).results)
+            engine_report = self.engine.execute_batch(query_specs)
+            outcome.query_results = list(engine_report.results)
+            outcome.degraded = list(getattr(engine_report, "degraded", []))
 
-        finish_us = (
-            clock.cursor() - base if clock is not None else batch.dispatch_us
-        )
-        return BatchOutcome(
-            requests=list(batch.requests),
-            dispatch_us=batch.dispatch_us,
-            finish_us=finish_us,
-            queue_depth=batch.queue_depth,
-            trigger=batch.trigger,
-            n_updates=len(updates),
-            n_queries=len(query_specs),
-            query_results=query_results,
-        )
+        if clock is not None:
+            outcome.finish_us = clock.cursor() - base
+        return outcome
 
 
 __all__ = ["BatchOutcome", "ServiceReport", "SimulatedService"]

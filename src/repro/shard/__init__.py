@@ -24,14 +24,19 @@ the single tree:
 * :class:`~repro.shard.stats.ShardStats` — per-shard entry/I/O
   breakdown and balance skew, surfaced on ``ExecutionStats`` /
   ``UpdateStats``.
+* :class:`~repro.shard.recovery.ShardCheckpointer` — per-shard
+  checkpoints with replay logs; rebuilds a quarantined shard in place
+  and closes its breaker (the durable half of :mod:`repro.fault`).
 """
 
 from repro.shard.engine import ShardScatterScanner, ShardedQueryEngine
+from repro.shard.recovery import ShardCheckpointer
 from repro.shard.router import ShardRouter
 from repro.shard.stats import ShardStats
 from repro.shard.tree import ShardedPEBTree
 
 __all__ = [
+    "ShardCheckpointer",
     "ShardRouter",
     "ShardScatterScanner",
     "ShardStats",

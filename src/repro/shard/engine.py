@@ -61,6 +61,17 @@ class ShardScatterScanner:
         shard_ends: per-shard virtual finish instants of the last
             prefetch, when the deployment is timed (the pipelining
             input); empty otherwise.
+        dropped_subbands: sub-band requests served *without* their
+            shard's entries because the shard was quarantined — the
+            per-scanner degradation counter the engine turns into
+            per-query ``degraded`` flags.
+
+    When the deployment carries a
+    :class:`repro.fault.supervisor.ShardSupervisor`, every per-shard
+    job — a batch prefetch, a physical sub-band scan — runs under it:
+    retryable faults back off in virtual time and re-run, a shard that
+    exhausts its retries is quarantined, and a quarantined shard's
+    sub-bands are dropped with accounting instead of failing the query.
     """
 
     def __init__(
@@ -82,8 +93,10 @@ class ShardScatterScanner:
             )
         )
         self.packed = packed
+        self.supervisor = getattr(sharded, "supervisor", None)
         self.scanners = [BandScanner(tree, packed=packed) for tree in sharded.trees]
         self.requests = 0
+        self.dropped_subbands = 0
         self.shard_ends: dict[int, float] = {}
         self.prefetch_base = 0.0
         self._parts_memo: dict[tuple, list] = {}
@@ -127,19 +140,47 @@ class ShardScatterScanner:
         return parts
 
     def scan(self, band: BandRequest) -> "BandRows | list":
-        """All entries of one band, gathered across shards in key order."""
+        """All entries of one band, gathered across shards in key order.
+
+        Under a supervisor, a quarantined shard's sub-band is dropped
+        (counted in :attr:`dropped_subbands` and the supervisor's
+        ``bands_dropped``) and the remaining shards' entries are
+        returned — a degraded, never wrong-by-inclusion result.
+        """
         self.requests += 1
         parts = self._split(band)
-        if len(parts) == 1:
-            shard, sub = parts[0]
-            return self.scanners[shard].scan(sub)
-        results = [self.scanners[shard].scan(sub) for shard, sub in parts]
+        if self.supervisor is None:
+            if len(parts) == 1:
+                shard, sub = parts[0]
+                return self.scanners[shard].scan(sub)
+            results = [self.scanners[shard].scan(sub) for shard, sub in parts]
+        else:
+            results = []
+            for shard, sub in parts:
+                if self.supervisor.is_quarantined(shard):
+                    self._drop(shard)
+                    continue
+                ok, rows = self.supervisor.run(
+                    shard, lambda s=shard, b=sub: self.scanners[s].scan(b)
+                )
+                if ok:
+                    results.append(rows)
+                else:
+                    self._drop(shard)
+            if not results:
+                return BandRows.empty() if self.packed else []
+            if len(results) == 1:
+                return results[0]
         if all(isinstance(result, BandRows) for result in results):
             return BandRows.concat(results)
         rows: list = []
         for result in results:
             rows.extend(result)
         return rows
+
+    def _drop(self, shard: int) -> None:
+        self.dropped_subbands += 1
+        self.supervisor.note_dropped_band()
 
     def prefetch(self, bands: Iterable[BandRequest]) -> None:
         """Scatter the batch's merged bands; prefetch each shard once.
@@ -159,16 +200,34 @@ class ShardScatterScanner:
             for shard, sub in self._split(band):
                 per_shard.setdefault(shard, []).append(sub)
         jobs = sorted(per_shard.items())
+        if self.supervisor is not None:
+            # admits() opens the half-open probe window: the first
+            # prefetch after a cooldown *is* the probe, run under the
+            # retry policy like any other shard job.  A shard whose
+            # prefetch fails (or stays quarantined) simply has nothing
+            # in its scanner's store; scan() drops it with accounting.
+            jobs = [
+                (shard, subs) for shard, subs in jobs if self.supervisor.admits(shard)
+            ]
         if not jobs:
             return
         clock = self.scheduler.clock
         self.prefetch_base = clock.cursor() if clock is not None else 0.0
-        _, ends = self.scheduler.run_timed(
-            [
+        if self.supervisor is None:
+            thunks = [
                 (lambda scanner=self.scanners[shard], subs=subs: scanner.prefetch(subs))
                 for shard, subs in jobs
             ]
-        )
+        else:
+            thunks = [
+                (
+                    lambda shard=shard, subs=subs: self.supervisor.run(
+                        shard, lambda: self.scanners[shard].prefetch(subs)
+                    )
+                )
+                for shard, subs in jobs
+            ]
+        _, ends = self.scheduler.run_timed(thunks)
         if clock is not None:
             self.shard_ends = {
                 shard: end for (shard, _), end in zip(jobs, ends)
@@ -234,12 +293,19 @@ class ShardedQueryEngine(QueryEngine):
         # attached at the end describes *this* batch's I/O and sums to
         # the delta counters it rides with.
         self._batch_stats_before = self.tree.shard_stats()
+        supervisor = getattr(self.tree, "supervisor", None)
+        self._batch_faults_before = (
+            supervisor.stats.copy() if supervisor is not None else None
+        )
         return ShardScatterScanner(
             self.tree,
             parallel=self.parallel_prefetch,
             max_workers=self.max_workers,
             packed=self.packed_scan,
         )
+
+    def _drop_marker(self, scanner) -> int:
+        return getattr(scanner, "dropped_subbands", 0)
 
     # ------------------------------------------------------------------
     # Verify/scan pipelining (timed deployments)
@@ -284,6 +350,11 @@ class ShardedQueryEngine(QueryEngine):
         report.stats.shard_stats = self.tree.shard_stats().delta_from(
             self._batch_stats_before
         )
+        supervisor = getattr(self.tree, "supervisor", None)
+        if supervisor is not None and self._batch_faults_before is not None:
+            report.stats.fault_stats = supervisor.stats.delta_from(
+                self._batch_faults_before
+            )
 
 
 __all__ = ["ShardScatterScanner", "ShardedQueryEngine"]

@@ -1,0 +1,101 @@
+"""Checkpoint-based recovery for quarantined shards.
+
+Retry handles *transient* faults; quarantine handles faults that
+outlast the retry budget.  This module closes the loop for the third
+class — faults that outlast the quarantine too, because the shard's
+on-disk state is actually damaged (a corrupted page keeps failing its
+checksum however often it is re-read).  The recovery primitive is the
+checkpoint the repository already has: each shard tree is checkpointed
+to its own directory (:func:`repro.core.checkpoint.save_peb_tree`),
+updates applied after the checkpoint are kept in a per-shard replay
+log, and :meth:`ShardCheckpointer.recover` rebuilds a shard *in place*
+— page images rewritten through the live wrapper stack
+(:func:`repro.core.checkpoint.restore_peb_tree_state`), the log
+replayed through the shard tree's own batch path, the breaker reset.
+
+The replay log is cleared only at the next :meth:`checkpoint`, never
+by :meth:`recover`: replay is idempotent *from the checkpoint* (it
+restores first, then re-applies), so a second recovery after a second
+fault replays the same tail correctly.  States a flush deferred while
+the shard was quarantined are *not* in the log — they never applied —
+and re-arrive through the update buffer they were restored to.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.checkpoint import restore_peb_tree_state, save_peb_tree
+
+if TYPE_CHECKING:
+    from repro.core.peb_tree import UpdateItem
+    from repro.shard.tree import ShardedPEBTree
+
+
+class ShardCheckpointer:
+    """Per-shard checkpoints plus replay logs for one deployment.
+
+    Constructing one attaches it to the deployment
+    (``sharded.checkpointer = self``), which turns on replay logging in
+    the supervised ``update_batch`` path: every shard-local run that
+    applies is appended to that shard's log.
+
+    Args:
+        sharded: the deployment to protect.
+        directory: root folder; shard ``i`` checkpoints into
+            ``<directory>/shard<i>``.
+
+    Call :meth:`checkpoint` after bulk load (states inserted outside
+    ``update_batch`` are invisible to the log) and periodically after —
+    each checkpoint truncates the logs, bounding both replay time and
+    log memory.
+    """
+
+    def __init__(self, sharded: "ShardedPEBTree", directory: str):
+        self.tree = sharded
+        self.directory = directory
+        self._logs: dict[int, list] = {
+            shard: [] for shard in range(len(sharded.trees))
+        }
+        sharded.checkpointer = self
+
+    def shard_dir(self, shard: int) -> str:
+        return os.path.join(self.directory, f"shard{shard}")
+
+    def checkpoint(self, shard: int | None = None) -> None:
+        """Checkpoint one shard (or all) and truncate its replay log."""
+        shards = range(len(self.tree.trees)) if shard is None else (shard,)
+        for s in shards:
+            save_peb_tree(self.tree.trees[s], self.shard_dir(s))
+            self._logs[s].clear()
+
+    def log_applied(self, shard: int, items: "Iterable[UpdateItem]") -> None:
+        """Record updates a flush applied to ``shard`` (facade callback)."""
+        self._logs[shard].extend(items)
+
+    def log_length(self, shard: int) -> int:
+        return len(self._logs[shard])
+
+    def recover(self, shard: int) -> int:
+        """Rebuild one shard from its checkpoint; returns replayed ops.
+
+        Restores the checkpointed page images and metadata in place,
+        replays the shard's post-checkpoint log through the shard
+        tree's own batch path, and closes the shard's breaker.  The
+        shard's disk must be healthy enough to serve the restore writes
+        and the replay — faults here propagate (heal or clear the
+        injected schedule first).
+        """
+        tree = self.tree.trees[shard]
+        restore_peb_tree_state(self.shard_dir(shard), tree)
+        replay = list(self._logs[shard])
+        if replay:
+            tree.update_batch(replay)
+            tree.btree.pool.flush()
+        if self.tree.supervisor is not None:
+            self.tree.supervisor.reset(shard)
+        return len(replay)
+
+
+__all__ = ["ShardCheckpointer"]

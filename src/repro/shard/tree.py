@@ -36,6 +36,9 @@ from repro.core.peb_tree import (
     plan_update_batch,
 )
 from repro.engine.plan import BandRequest
+from repro.fault.breaker import BreakerPolicy
+from repro.fault.retry import RetryPolicy
+from repro.fault.supervisor import ShardSupervisor
 from repro.motion.objects import MovingObject
 from repro.motion.rows import BandRows
 from repro.shard.router import ShardRouter
@@ -86,6 +89,8 @@ class ShardedPEBTree:
         router: ShardRouter,
         parallel_io: bool = False,
         max_workers: int | None = None,
+        fault_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ):
         if len(trees) != router.n_shards:
             raise ValueError(
@@ -117,6 +122,19 @@ class ShardedPEBTree:
             (tree.btree.pool.stats for tree in self.trees),
             latency=LatencyView([disk.latency for disk in timed]) if timed else None,
         )
+        # Fault tolerance is opt-in: without a supervisor every path —
+        # including physical I/O patterns — is byte-identical to the
+        # pre-fault-layer deployment.
+        self.supervisor: ShardSupervisor | None = None
+        if fault_policy is not None or breaker_policy is not None:
+            self.supervisor = ShardSupervisor(
+                router.n_shards,
+                retry=fault_policy,
+                breaker=breaker_policy,
+                clock=self.sim_clock,
+            )
+        #: Attached by :class:`repro.shard.recovery.ShardCheckpointer`.
+        self.checkpointer = None
 
     @classmethod
     def build(
@@ -136,6 +154,9 @@ class ShardedPEBTree:
         parallel_io: bool = False,
         max_workers: int | None = None,
         disk_factory=None,
+        fault_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        clock: SimClock | None = None,
     ) -> "ShardedPEBTree":
         """An empty deployment: N fresh trees, each on its own disk.
 
@@ -151,6 +172,17 @@ class ShardedPEBTree:
         in virtual time.  ``disk_factory(shard) -> disk`` overrides the
         inner disk (fault-injection tests compose ``TimedDisk`` over a
         ``FaultyDisk`` this way); the timed wrapper still applies.
+
+        ``fault_policy`` / ``breaker_policy`` attach a
+        :class:`repro.fault.supervisor.ShardSupervisor` — retry with
+        virtual-time backoff at every per-shard job boundary plus a
+        circuit breaker per shard; without them (the default) fault
+        handling is absent and behavior is byte-identical to earlier
+        builds.  ``clock`` shares an existing
+        :class:`repro.simio.clock.SimClock` (so a
+        :class:`repro.storage.faults.FaultWindowSchedule` can watch the
+        same timeline a ``disk_factory`` disk faults on); a fresh clock
+        is created otherwise.
         """
         codec = PEBKeyCodec(
             tid_count=partitioner.num_partitions,
@@ -160,7 +192,8 @@ class ShardedPEBTree:
         )
         router = ShardRouter.for_store(n_shards, codec, store, uids, policy)
         model = make_latency_model(latency) if latency is not None else None
-        clock = SimClock() if model is not None else None
+        if model is not None and clock is None:
+            clock = SimClock()
 
         def make_disk(shard: int):
             disk = (
@@ -187,7 +220,14 @@ class ShardedPEBTree:
             )
             for shard in range(n_shards)
         ]
-        return cls(trees, router, parallel_io=parallel_io, max_workers=max_workers)
+        return cls(
+            trees,
+            router,
+            parallel_io=parallel_io,
+            max_workers=max_workers,
+            fault_policy=fault_policy,
+            breaker_policy=breaker_policy,
+        )
 
     # ------------------------------------------------------------------
     # Shared geometry (the planner's and scanner's view of "the tree")
@@ -327,7 +367,20 @@ class ShardedPEBTree:
         The merged result and the final ``fetch_all`` state are
         observationally identical to a single tree applying the same
         buffer.
+
+        With a :attr:`supervisor` attached, each shard's sweep becomes
+        an independently retryable job: the sweep runs inside the
+        pool's sweep guard (all-or-nothing at the shard granularity),
+        retryable faults back off in virtual time and re-run, and a
+        shard that exhausts its retries is quarantined — its updates
+        come back in :attr:`BatchUpdateResult.deferred` (for
+        re-buffering) while every other shard's sweep lands normally.
+        Shard-granular deferral requires shard-*local* routing; a batch
+        containing a cross-shard migration (TID-policy rollover) falls
+        back to the all-or-nothing path, where any fault propagates and
+        the caller re-buffers the whole batch.
         """
+        updates = list(updates)
         plan = plan_update_batch(
             updates,
             self._lookup_key,
@@ -339,6 +392,43 @@ class ShardedPEBTree:
         result = plan.result
         old_runs = dict(self.router.split_sorted_run(plan.sweep_old))
         new_runs = dict(self.router.split_sorted_run(plan.sweep_new))
+
+        if self.supervisor is None or self._has_cross_shard_move(plan):
+            self._apply_runs(result, old_runs, new_runs)
+            dead: set[int] = set()
+        else:
+            dead = self._apply_runs_supervised(updates, plan, result, old_runs, new_runs)
+
+        for uid, new_key in plan.new_keys.items():
+            if self.router.shard_of_key(new_key) in dead:
+                continue  # deferred; the memo keeps the pre-batch state
+            old_key = plan.old_keys[uid]
+            if old_key == new_key:
+                continue  # in-place rewrite; the memo is already right
+            if old_key is not None:
+                del self.trees[self.router.shard_of_key(old_key)]._live_keys[uid]
+            self.trees[self.router.shard_of_key(new_key)]._live_keys[uid] = new_key
+        for tree in self.trees:
+            # Raised to the deployment-wide bound so each shard stays
+            # individually consistent (larger maxima are always safe).
+            tree.max_speed_x = max(tree.max_speed_x, plan.max_vx)
+            tree.max_speed_y = max(tree.max_speed_y, plan.max_vy)
+        return result
+
+    def _has_cross_shard_move(self, plan) -> bool:
+        for uid, new_key in plan.new_keys.items():
+            old_key = plan.old_keys[uid]
+            if (
+                old_key is not None
+                and old_key != new_key
+                and self.router.shard_of_key(old_key)
+                != self.router.shard_of_key(new_key)
+            ):
+                return True
+        return False
+
+    def _apply_runs(self, result, old_runs, new_runs) -> None:
+        """The all-or-nothing application path (no fault handling)."""
 
         def sweep(shard: int) -> int:
             visited = 0
@@ -355,19 +445,126 @@ class ShardedPEBTree:
         for visited in self.io.run(jobs):
             result.leaves_visited += visited
 
-        for uid, new_key in plan.new_keys.items():
-            old_key = plan.old_keys[uid]
-            if old_key == new_key:
-                continue  # in-place rewrite; the memo is already right
-            if old_key is not None:
-                del self.trees[self.router.shard_of_key(old_key)]._live_keys[uid]
-            self.trees[self.router.shard_of_key(new_key)]._live_keys[uid] = new_key
-        for tree in self.trees:
-            # Raised to the deployment-wide bound so each shard stays
-            # individually consistent (larger maxima are always safe).
-            tree.max_speed_x = max(tree.max_speed_x, plan.max_vx)
-            tree.max_speed_y = max(tree.max_speed_y, plan.max_vy)
-        return result
+    def _apply_runs_supervised(
+        self, updates, plan, result, old_runs, new_runs
+    ) -> set[int]:
+        """Per-shard guarded, retried sweeps; returns the dead shards.
+
+        A dead shard (quarantined before the batch, or newly
+        quarantined by retry exhaustion inside it) contributes nothing:
+        the sweep guard rolled its pool and B+-tree back to the
+        pre-batch state, and its updates land in ``result.deferred``
+        with the result counters decremented to match what was applied.
+        """
+        supervisor = self.supervisor
+        sweep_states: dict[int, dict] = {}
+
+        def make_job(shard: int):
+            tree = self.trees[shard].btree
+            pool = tree.pool
+            state = sweep_states.setdefault(shard, {"visited": None})
+
+            def job() -> int:
+                if state["visited"] is not None:
+                    # This batch's sweep already applied on an earlier
+                    # attempt; only the commit write-back faulted.
+                    pool.commit_sweep_guard()
+                    return state["visited"]
+                if pool.guard_active:
+                    # A *previous* batch's commit faulted past its retry
+                    # budget; its frames hold that batch fully applied.
+                    # Complete the outstanding write-back first.
+                    pool.commit_sweep_guard()
+                pool.flush()
+                pool.begin_sweep_guard()
+                meta = (
+                    tree.root_id,
+                    tree.first_leaf_id,
+                    tree.height,
+                    tree.entry_count,
+                    tree.leaf_count,
+                )
+                try:
+                    visited = 0
+                    for run in (old_runs.get(shard), new_runs.get(shard)):
+                        if run:
+                            visited += tree.apply_sorted_batch(run).leaves_visited
+                except BaseException:
+                    pool.rollback_sweep_guard()
+                    (
+                        tree.root_id,
+                        tree.first_leaf_id,
+                        tree.height,
+                        tree.entry_count,
+                        tree.leaf_count,
+                    ) = meta
+                    raise
+                state["visited"] = visited
+                pool.commit_sweep_guard()
+                return visited
+
+            return job
+
+        shards = sorted(set(old_runs) | set(new_runs))
+        denied = {shard for shard in shards if not supervisor.admits(shard)}
+        active = [shard for shard in shards if shard not in denied]
+        jobs = [
+            (lambda shard=shard, job=make_job(shard): (shard, *supervisor.run(shard, job)))
+            for shard in active
+        ]
+        dead = set(denied)
+        for shard, ok, visited in self.io.run(jobs):
+            if ok:
+                result.leaves_visited += visited
+            elif sweep_states[shard]["visited"] is not None:
+                # The sweep landed in the pool; only the durable commit
+                # write-back is outstanding (the guard stays active and a
+                # later job on this shard resumes it).  Logically the
+                # batch applied — count it and keep the memo updates.
+                result.leaves_visited += sweep_states[shard]["visited"]
+            else:
+                dead.add(shard)
+
+        if dead:
+            last_item: dict[int, UpdateItem] = {}
+            for item in updates:
+                obj = item[0] if isinstance(item, tuple) else item
+                last_item[obj.uid] = item
+            for uid, new_key in plan.new_keys.items():
+                if self.router.shard_of_key(new_key) not in dead:
+                    continue
+                result.deferred.append(last_item[uid])
+                result.ops -= 1
+                old_key = plan.old_keys[uid]
+                if old_key is None:
+                    result.inserted -= 1
+                elif old_key == new_key:
+                    result.in_place -= 1
+                else:
+                    result.moved -= 1
+            supervisor.note_deferred_updates(len(result.deferred))
+        if self.checkpointer is not None:
+            for shard in shards:
+                if shard in dead:
+                    continue
+                run_uids = {
+                    uid
+                    for uid, new_key in plan.new_keys.items()
+                    if self.router.shard_of_key(new_key) == shard
+                }
+                if run_uids:
+                    self.checkpointer.log_applied(
+                        shard,
+                        [
+                            item
+                            for item in updates
+                            if (
+                                item[0].uid if isinstance(item, tuple) else item.uid
+                            )
+                            in run_uids
+                        ],
+                    )
+        return dead
 
     # ------------------------------------------------------------------
     # Scan primitives (the engine's view)

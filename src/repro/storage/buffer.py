@@ -54,6 +54,7 @@ class BufferPool:
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self._frames: dict[int, Any] = {}
         self._dirty: set[int] = set()
+        self._guard_base: int | None = None
 
     @property
     def stats(self):
@@ -133,6 +134,76 @@ class BufferPool:
         while len(self._frames) > self.capacity:
             self._evict()
 
+    def invalidate(self) -> None:
+        """Empty the pool *without* write-back (cached state is abandoned).
+
+        Recovery uses this after restoring page images directly on the
+        disk: the cached objects no longer describe any on-disk page, so
+        flushing them (as :meth:`clear` would) would clobber the
+        restored state.  Any active sweep guard is abandoned with the
+        frames it was protecting.
+        """
+        for page_id in list(self._frames):
+            self.policy.on_remove(page_id)
+        self._frames.clear()
+        self._dirty.clear()
+        self._guard_base = None
+
+    # ------------------------------------------------------------------
+    # Sweep guard: a no-steal window for retryable write sweeps
+    # ------------------------------------------------------------------
+    #
+    # A batch sweep that faults mid-way leaves some leaves rewritten and
+    # others not — unretryable against the disk alone.  The guard makes
+    # the sweep all-or-nothing at the pool layer: while active, dirty
+    # frames are never evicted (clean frames still are; the pool may
+    # exceed capacity when everything resident is dirty), so the disk
+    # keeps its pre-sweep images for every *pre-existing* page and only
+    # guard-allocated pages (splits) carry new images.  Rollback then
+    # discards every dirtied frame and frees the guard allocations,
+    # restoring the exact pre-sweep logical state; commit flushes.
+
+    @property
+    def guard_active(self) -> bool:
+        return self._guard_base is not None
+
+    def begin_sweep_guard(self) -> None:
+        """Open a no-steal window.  Requires a clean pool (flush first)."""
+        if self._guard_base is not None:
+            raise RuntimeError("sweep guard already active")
+        if self._dirty:
+            raise RuntimeError(
+                f"sweep guard needs a clean pool; {len(self._dirty)} dirty pages"
+            )
+        self._guard_base = self.disk.allocated_count
+
+    def rollback_sweep_guard(self) -> None:
+        """Undo the guarded sweep: drop dirtied frames, free new pages."""
+        if self._guard_base is None:
+            raise RuntimeError("no sweep guard active")
+        base = self._guard_base
+        self._guard_base = None
+        for page_id in list(self._dirty):
+            self.discard(page_id)
+        for page_id in range(base, self.disk.allocated_count):
+            self.discard(page_id)
+            self.disk.free(page_id)
+
+    def commit_sweep_guard(self) -> None:
+        """Close the window, flushing the sweep's writes to disk.
+
+        The flush runs *before* the guard clears: a write fault leaves
+        the guard active with ``_dirty`` intact, so a retried commit
+        resumes the write-back (rewriting an already-flushed page is
+        idempotent) without ever re-applying the sweep.
+        """
+        if self._guard_base is None:
+            raise RuntimeError("no sweep guard active")
+        self.flush()
+        self._guard_base = None
+        while len(self._frames) > self.capacity:
+            self._evict()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -158,10 +229,25 @@ class BufferPool:
     # ------------------------------------------------------------------
 
     def _admit(self, page_id: int, obj: Any) -> None:
-        while len(self._frames) >= self.capacity:
-            self._evict()
+        if self._guard_base is not None:
+            # No-steal: evict clean victims only; overflow capacity when
+            # every resident frame is dirty rather than lose undo state.
+            while len(self._frames) >= self.capacity:
+                if not self._evict_clean():
+                    break
+        else:
+            while len(self._frames) >= self.capacity:
+                self._evict()
         self._frames[page_id] = obj
         self.policy.on_admit(page_id)
+
+    def _evict_clean(self) -> bool:
+        for page_id in self._frames:
+            if page_id not in self._dirty:
+                self._frames.pop(page_id)
+                self.policy.on_remove(page_id)
+                return True
+        return False
 
     def _evict(self) -> None:
         page_id = self.policy.victim()

@@ -42,7 +42,12 @@ def save_disk(disk: SimulatedDisk, path: str) -> int:
 
     The caller is responsible for having flushed any buffer pool in
     front of ``disk`` — unflushed dirty pages are invisible here.
+    Delegating wrappers (:class:`repro.simio.disk.TimedDisk`) are
+    unwrapped: a snapshot captures the page store, not the timing or
+    fault layers around it.
     """
+    while hasattr(disk, "inner"):
+        disk = disk.inner
     pages = sorted(disk._pages.items())
     parts = [
         _HEADER.pack(

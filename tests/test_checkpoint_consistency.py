@@ -19,8 +19,11 @@ import pytest
 
 from repro.core.checkpoint import (
     META_FILE,
+    VERSION,
+    CheckpointError,
     clone_peb_tree,
     load_peb_tree,
+    restore_peb_tree_state,
     save_peb_tree,
 )
 from repro.core.prq import prq
@@ -147,3 +150,75 @@ def test_clone_is_independent_and_identical():
     assert tree.fetch_all() != twin.fetch_all()
     tree.btree.check_invariants()
     twin.btree.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Failure paths: a bad checkpoint is a CheckpointError, never a
+# partial tree (the loader validates metadata before building anything)
+# ----------------------------------------------------------------------
+
+
+def _rewrite_meta(directory, mutate):
+    path = os.path.join(directory, META_FILE)
+    with open(path, "rb") as handle:
+        meta = json.loads(gzip.decompress(handle.read()))
+    mutate(meta)
+    with open(path, "wb") as handle:
+        handle.write(gzip.compress(json.dumps(meta).encode("utf-8")))
+
+
+def test_load_missing_metadata_is_a_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint metadata"):
+        load_peb_tree(str(tmp_path))
+
+
+def test_load_rejects_a_foreign_format_marker(tmp_path):
+    save_peb_tree(populated_tree(), str(tmp_path))
+    _rewrite_meta(str(tmp_path), lambda meta: meta.update(format="some-other-tool"))
+    with pytest.raises(CheckpointError, match="not a PEB checkpoint"):
+        load_peb_tree(str(tmp_path))
+
+
+def test_load_rejects_a_future_version(tmp_path):
+    save_peb_tree(populated_tree(), str(tmp_path))
+    _rewrite_meta(str(tmp_path), lambda meta: meta.update(version=VERSION + 1))
+    with pytest.raises(CheckpointError, match=f"this build reads {VERSION}"):
+        load_peb_tree(str(tmp_path))
+
+
+def test_load_rejects_truncated_metadata(tmp_path):
+    save_peb_tree(populated_tree(), str(tmp_path))
+    path = os.path.join(str(tmp_path), META_FILE)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])  # torn mid-write
+    with pytest.raises(CheckpointError, match="unreadable checkpoint metadata"):
+        load_peb_tree(str(tmp_path))
+
+
+def test_load_rejects_corrupted_metadata(tmp_path):
+    save_peb_tree(populated_tree(), str(tmp_path))
+    path = os.path.join(str(tmp_path), META_FILE)
+    with open(path, "wb") as handle:
+        handle.write(gzip.compress(b"{not json at all"))
+    with pytest.raises(CheckpointError, match="unreadable checkpoint metadata"):
+        load_peb_tree(str(tmp_path))
+    with open(path, "wb") as handle:
+        handle.write(gzip.compress(b"[1, 2, 3]"))  # valid JSON, wrong shape
+    with pytest.raises(CheckpointError, match="malformed checkpoint metadata"):
+        load_peb_tree(str(tmp_path))
+
+
+def test_restore_rejects_mismatched_codec_geometry(tmp_path):
+    tree = populated_tree(n=12)
+    save_peb_tree(tree, str(tmp_path))
+    # A checkpoint from a deployment with different key geometry.
+    _rewrite_meta(
+        str(tmp_path),
+        lambda meta: meta["codec"].update(zv_bits=meta["codec"]["zv_bits"] + 2),
+    )
+    before = list(tree.btree.items())
+    with pytest.raises(CheckpointError, match="codec geometry"):
+        restore_peb_tree_state(str(tmp_path), tree)
+    # The mismatch is detected before anything is rewritten.
+    assert list(tree.btree.items()) == before

@@ -9,12 +9,15 @@ the failed operation.
 import pytest
 
 from repro.btree.tree import BPlusTree, BTreeConfig
+from repro.simio.clock import SimClock
 from repro.storage.buffer import BufferPool
 from repro.storage.faults import (
     ChecksummedDisk,
     CorruptPageError,
     DiskFaultError,
+    FaultWindowSchedule,
     FaultyDisk,
+    TransientFaultSchedule,
 )
 from repro.storage.page import RawBytesSerializer
 
@@ -79,6 +82,110 @@ def test_heal_clears_all_faults():
     with pytest.raises(DiskFaultError):
         disk.read(page)
     disk.heal()
+    disk.write(page, b"v")
+    assert disk.read(page) == b"v"
+
+
+def test_heal_resets_attempt_counters_and_schedule():
+    disk = FaultyDisk(page_size=64, fail_every_nth_read=2)
+    page = disk.allocate()
+    disk.write(page, b"v")
+    assert disk.read(page) == b"v"  # attempt 1
+    disk.heal()
+    # Re-arming after heal restarts from attempt 1, not wherever the
+    # pre-fault counter happened to be — schedules replay identically.
+    disk.fail_every_nth_read = 2
+    assert disk.read(page) == b"v"  # attempt 1 again
+    with pytest.raises(DiskFaultError):
+        disk.read(page)  # attempt 2
+
+    disk.schedule = TransientFaultSchedule(fail_reads=(1,))
+    disk.heal()
+    assert disk.schedule is None
+    assert disk.read(page) == b"v"  # attempt 1, no schedule left to fire
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault schedules
+# ----------------------------------------------------------------------
+
+
+def test_transient_schedule_validation_and_bounds():
+    with pytest.raises(ValueError):
+        TransientFaultSchedule(fail_reads=(0,))
+    with pytest.raises(ValueError):
+        TransientFaultSchedule(fail_writes=(-1,))
+    assert TransientFaultSchedule().max_failing_attempt == 0
+    schedule = TransientFaultSchedule(fail_reads=(2, 9), fail_writes=(4,))
+    assert schedule.max_failing_attempt == 9
+    assert schedule.should_fail("read", 123, 2)
+    assert not schedule.should_fail("write", 123, 2)  # per-kind sets
+    assert schedule.should_fail("write", 123, 4)
+    assert not schedule.should_fail("read", 123, 10)  # past the last index
+    assert "fail_reads=[2, 9]" in repr(schedule)
+
+
+def test_transient_schedule_on_disk_clears_after_last_index():
+    disk = FaultyDisk(
+        page_size=64,
+        schedule=TransientFaultSchedule(fail_reads=(1, 3), fail_writes=(2,)),
+    )
+    page = disk.allocate()
+    disk.write(page, b"v")  # write attempt 1 succeeds
+    with pytest.raises(DiskFaultError):
+        disk.write(page, b"w")  # write attempt 2 fails, image kept
+    disk.write(page, b"w")  # write attempt 3 succeeds
+    with pytest.raises(DiskFaultError):
+        disk.read(page)  # read attempt 1
+    assert disk.read(page) == b"w"  # read attempt 2
+    with pytest.raises(DiskFaultError):
+        disk.read(page)  # read attempt 3
+    for _ in range(5):
+        assert disk.read(page) == b"w"  # cleared forever: the set is finite
+
+
+def test_schedule_composes_with_explicit_page_sets():
+    disk = FaultyDisk(
+        page_size=64, schedule=TransientFaultSchedule(fail_reads=(2,))
+    )
+    first, second = disk.allocate(), disk.allocate()
+    disk.write(first, b"a")
+    disk.write(second, b"b")
+    disk.fail_read_pages.add(first)
+    with pytest.raises(DiskFaultError):
+        disk.read(first)  # the explicit page set fires (attempt 1)
+    with pytest.raises(DiskFaultError):
+        disk.read(second)  # the schedule fires (attempt 2)
+    assert disk.read(second) == b"b"
+
+
+def test_fault_window_validation_and_membership():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        FaultWindowSchedule(clock, 10.0, 5.0)
+    window = FaultWindowSchedule(clock, 100.0, 200.0, kinds=("read",))
+    clock.set_cursor(50.0)
+    assert not window.should_fail("read", 0, 1)
+    clock.set_cursor(100.0)
+    assert window.should_fail("read", 0, 1)  # start is inclusive
+    assert not window.should_fail("write", 0, 1)  # kinds filter
+    clock.set_cursor(199.0)
+    assert window.should_fail("read", 0, 1)
+    clock.set_cursor(200.0)
+    assert not window.should_fail("read", 0, 1)  # end is exclusive
+
+
+def test_fault_window_cleared_by_advancing_the_clock():
+    """Backoff priced on the same clock is what moves a caller past the
+    window — advancing the cursor is all it takes to clear the fault."""
+    clock = SimClock()
+    disk = FaultyDisk(
+        page_size=64, schedule=FaultWindowSchedule(clock, 0.0, 500.0)
+    )
+    page = disk.allocate()
+    with pytest.raises(DiskFaultError):
+        disk.write(page, b"v")
+    clock.advance(500.0)
     disk.write(page, b"v")
     assert disk.read(page) == b"v"
 
@@ -190,3 +297,25 @@ def test_btree_intermittent_faults_never_corrupt_results():
         except DiskFaultError:
             continue  # retry, as a real execution layer would
         assert got == expected
+
+
+def test_buffer_cache_hit_masks_later_on_disk_corruption():
+    """Checksum verification is a property of the *physical* read path:
+    a page corrupted on disk after it was cached stays invisible until
+    the frame is dropped and re-read (the invariant the faults module
+    docstring states — recovery paths must invalidate before trusting
+    a re-read)."""
+    disk = ChecksummedDisk(page_size=64)
+    pool = BufferPool(disk, capacity=4, serializer=RawBytesSerializer())
+    page = disk.allocate()
+    pool.put(page, b"payload")
+    pool.flush()
+    assert pool.get(page) == b"payload"
+
+    disk.corrupt(page, bit=1)
+    # Pool hit: no disk access, so the damage goes undetected.
+    assert pool.get(page) == b"payload"
+    # Dropping the frame forces a physical read, which detects it.
+    pool.discard(page)
+    with pytest.raises(CorruptPageError):
+        pool.get(page)
