@@ -1,0 +1,317 @@
+"""Adaptive prefetch policy benchmark: auto vs the static extremes.
+
+The band-scan layer has two static prefetch disciplines and one
+adaptive one:
+
+* ``merge`` — the legacy behaviour: union all requested bands per
+  ``(tid, sv_q)`` stratum and prefetch the merged coverage in one
+  sequential pass (few seeks, dead pages transferred through).
+* ``exact`` — no prefetch store at all: every band is scanned on
+  demand (no dead pages, one positioning cost per band).
+* ``auto`` — the :class:`repro.engine.PrefetchPolicy` layer: a
+  :class:`repro.core.cost_model.BandScanCostModel` seeded from the
+  active device profile prices merged-vs-exact per stratum from
+  observed density and demand EWMAs, coalesces coverage runs whose gap
+  is cheaper than a fresh seek, and a two-armed explore/exploit loop
+  decides per batch whether speculative kNN probe prefetch pays, fed
+  back by per-batch virtual time and per-class service outcomes.
+
+This benchmark serves the same open-loop request stream (as in
+``bench_service_slo.py``) under each mode at two operating points where
+the statics disagree:
+
+* **range-heavy** (``knn_fraction=0``): merged prefetch amortizes well —
+  the adaptive policy must *match* it, not regress chasing seeks.
+* **kNN-heavy** (``knn_fraction=0.8``): speculative probe supersets and
+  skip-rule casualties make merged coverage speculative — the adaptive
+  policy must *beat* always-merge on physical reads per request and on
+  p99 sojourn.
+
+Observational safety is asserted, not assumed: pinned runs replay the
+recorded batches through a plain policy-free engine on an untimed clone
+and require identical results — the policy may only move I/O, never
+answers.
+
+Exit gates:
+
+* **kNN-heavy** — ``auto`` beats ``merge`` on reads/request AND p99.
+* **range-heavy** — ``auto`` within ``--match-tolerance`` (default 5%)
+  of ``merge`` on both axes.
+* **never worse** — at both points, ``auto`` stays within
+  ``--static-slack`` (default 2%) of the *better* static mode on each
+  axis.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_prefetch_policy.py
+    PYTHONPATH=src python benchmarks/bench_prefetch_policy.py --smoke
+
+``--json PATH`` (default ``BENCH_prefetch.json``) writes rows, gates,
+and final policy snapshots as machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import ExperimentConfig, ExperimentHarness
+from repro.bench.reporting import SeriesTable
+
+
+MODES = ("merge", "exact", "auto")
+
+#: (label, knn_fraction, rate_per_sec) — points where the statics split.
+POINTS = (
+    ("range-heavy", 0.0, 2000.0),
+    ("knn-heavy", 0.8, 2500.0),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="adaptive prefetch policy vs static merge/exact"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI configuration (the default already is one — each point "
+        "is a few seconds — so this just pins it against drift)",
+    )
+    parser.add_argument("--users", type=int, default=1200)
+    parser.add_argument("--policies", type=int, default=10)
+    parser.add_argument("--theta", type=float, default=0.7)
+    parser.add_argument("--requests", type=int, default=256,
+                        help="requests per (point, mode) run")
+    parser.add_argument("--max-batch", dest="max_batch", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument(
+        "--latency", choices=("hdd", "ssd", "nvme"), default="ssd"
+    )
+    parser.add_argument(
+        "--shard-buffer-pages",
+        dest="shard_buffer_pages",
+        type=int,
+        default=12,
+        help="per-shard buffer pages; small enough that dead prefetched "
+        "pages actually cost repeat physical reads",
+    )
+    parser.add_argument(
+        "--match-tolerance",
+        dest="match_tolerance",
+        type=float,
+        default=0.05,
+        help="relative slack for the range-heavy auto-vs-merge match gate",
+    )
+    parser.add_argument(
+        "--static-slack",
+        dest="static_slack",
+        type=float,
+        default=0.02,
+        help="relative slack for the never-worse-than-better-static gate",
+    )
+    parser.add_argument(
+        "--no-pin",
+        dest="pin",
+        action="store_false",
+        help="skip the policy-free direct-replay equivalence check",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default="BENCH_prefetch.json",
+        help="write machine-readable results here ('' disables)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        # The gated configuration *is* the CI configuration; pin the
+        # knobs explicitly so command-line drift can't unsettle gates.
+        args.users = 1200
+        args.policies = 10
+        args.requests = 256
+        args.max_batch = 16
+        args.shards = 2
+        args.latency = "ssd"
+        args.shard_buffer_pages = 12
+
+    config = ExperimentConfig(
+        n_users=args.users,
+        n_policies=args.policies,
+        grouping_factor=args.theta,
+        page_size=1024,
+        seed=args.seed,
+    )
+    print(
+        f"Building {config.n_users} users, {config.n_policies} policies/user, "
+        f"theta={config.grouping_factor} ...",
+        flush=True,
+    )
+    harness = ExperimentHarness(config)
+
+    rows = []
+    by_point: dict[str, dict[str, dict]] = {}
+    for label, knn_fraction, rate in POINTS:
+        table = SeriesTable(
+            f"Prefetch policy at {label} (knn={knn_fraction:.1f}, "
+            f"rate={rate:.0f}/s, {args.requests} requests, "
+            f"{args.shards} shards, {args.latency})",
+            [
+                "mode",
+                "reads/req",
+                "p50 (ms)",
+                "p99 (ms)",
+                "throughput (req/s)",
+                "merged strata",
+                "exact strata",
+            ],
+        )
+        for mode in MODES:
+            costs = harness.run_service(
+                rate,
+                n_requests=args.requests,
+                max_batch=args.max_batch,
+                n_shards=args.shards,
+                latency=args.latency,
+                knn_fraction=knn_fraction,
+                shard_buffer_pages=args.shard_buffer_pages,
+                pin=args.pin,
+                prefetch=mode,
+            )
+            stats = costs.stats
+            row = costs.snapshot()
+            row["point"] = label
+            rows.append(row)
+            by_point.setdefault(label, {})[mode] = row
+            state = costs.policy_state or {}
+            table.add_row(
+                mode,
+                f"{stats.reads_per_request:.3f}",
+                f"{stats.overall.p50_us / 1000:.2f}",
+                f"{stats.overall.p99_us / 1000:.2f}",
+                f"{stats.throughput_per_sec:.0f}",
+                f"{state.get('merged_strata', '-')}",
+                f"{state.get('exact_strata', '-')}",
+            )
+        table.print()
+        print()
+
+    def axes(row: dict) -> tuple[float, float]:
+        stats = row["stats"]
+        return stats["reads_per_request"], stats["overall"]["p99_us"]
+
+    failures = []
+    gate_detail = {}
+    for label, _, rate in POINTS:
+        runs = by_point[label]
+        merge_reads, merge_p99 = axes(runs["merge"])
+        exact_reads, exact_p99 = axes(runs["exact"])
+        auto_reads, auto_p99 = axes(runs["auto"])
+        best_reads = min(merge_reads, exact_reads)
+        best_p99 = min(merge_p99, exact_p99)
+        gate_detail[label] = {
+            "rate_per_sec": rate,
+            "merge": {"reads_per_request": merge_reads, "p99_us": merge_p99},
+            "exact": {"reads_per_request": exact_reads, "p99_us": exact_p99},
+            "auto": {"reads_per_request": auto_reads, "p99_us": auto_p99},
+        }
+
+        if label == "knn-heavy":
+            # Speculative coverage is mostly dead here; adaptation must
+            # pay on both axes, not trade one for the other.
+            if auto_reads >= merge_reads:
+                failures.append(
+                    f"{label}: auto {auto_reads:.3f} reads/request did not "
+                    f"beat always-merge {merge_reads:.3f}"
+                )
+            if auto_p99 >= merge_p99:
+                failures.append(
+                    f"{label}: auto p99 {auto_p99 / 1000:.2f}ms did not "
+                    f"beat always-merge {merge_p99 / 1000:.2f}ms"
+                )
+        else:
+            # Merged prefetch is near-optimal here; adaptation must not
+            # regress chasing seeks it cannot save.
+            slack = 1.0 + args.match_tolerance
+            if auto_reads > merge_reads * slack:
+                failures.append(
+                    f"{label}: auto {auto_reads:.3f} reads/request strayed "
+                    f">{args.match_tolerance:.0%} above always-merge "
+                    f"{merge_reads:.3f}"
+                )
+            if auto_p99 > merge_p99 * slack:
+                failures.append(
+                    f"{label}: auto p99 {auto_p99 / 1000:.2f}ms strayed "
+                    f">{args.match_tolerance:.0%} above always-merge "
+                    f"{merge_p99 / 1000:.2f}ms"
+                )
+
+        # Never worse than the better static on either axis.
+        slack = 1.0 + args.static_slack
+        if auto_reads > best_reads * slack:
+            failures.append(
+                f"{label}: auto {auto_reads:.3f} reads/request worse than "
+                f"the better static {best_reads:.3f} "
+                f"(+{args.static_slack:.0%} slack)"
+            )
+        if auto_p99 > best_p99 * slack:
+            failures.append(
+                f"{label}: auto p99 {auto_p99 / 1000:.2f}ms worse than the "
+                f"better static {best_p99 / 1000:.2f}ms "
+                f"(+{args.static_slack:.0%} slack)"
+            )
+
+    if args.json_path:
+        payload = {
+            "benchmark": "prefetch_policy",
+            "config": {
+                "n_users": config.n_users,
+                "n_policies": config.n_policies,
+                "grouping_factor": config.grouping_factor,
+                "page_size": config.page_size,
+                "buffer_pages_per_shard": config.buffer_pages,
+                "seed": config.seed,
+                "points": [
+                    {"label": label, "knn_fraction": kf, "rate_per_sec": rate}
+                    for label, kf, rate in POINTS
+                ],
+                "modes": list(MODES),
+                "n_requests": args.requests,
+                "max_batch": args.max_batch,
+                "n_shards": args.shards,
+                "latency": args.latency,
+                "shard_buffer_pages": args.shard_buffer_pages,
+                "pinned": args.pin,
+            },
+            "rows": rows,
+            "gates": {
+                "match_tolerance": args.match_tolerance,
+                "static_slack": args.static_slack,
+                "points": gate_detail,
+                "failures": failures,
+            },
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"Wrote {args.json_path}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.pin:
+        print(
+            "\nEvery run's results verified identical to policy-free "
+            "direct replay — the policy moved I/O, never answers. OK"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

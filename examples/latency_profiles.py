@@ -21,7 +21,12 @@ Two things to watch in the output:
   (hdd), least where transfers are nearly free (nvme);
 * the **overlap factor** (device busy time / elapsed time) shows the
   scheduler genuinely keeping several devices busy at once — it is
-  1.0 by construction on the serial baseline.
+  1.0 by construction on the serial baseline;
+* the **seeks** and **seq ratio** columns count, per device, how many
+  accesses paid the positioning cost versus rode a sequential run —
+  the signal the adaptive prefetch policy feeds on: merged band scans
+  and leaf-ordered sweeps keep the ratio high, and the device profile
+  decides how much each avoided seek is worth.
 
 Every timed run's query results and final index contents are pinned
 identical to untimed single-tree execution inside ``run_overlap`` —
@@ -40,7 +45,8 @@ def main():
 
     header = (
         f"{'profile':<8} {'seek us':>8} {'xfer us':>8} "
-        f"{'1-shard ms':>11} {'4-shard ms':>11} {'speedup':>8} {'overlap':>8}"
+        f"{'1-shard ms':>11} {'4-shard ms':>11} {'speedup':>8} {'overlap':>8} "
+        f"{'seeks':>7} {'seq ratio':>9}"
     )
     print(header)
     print("-" * len(header))
@@ -58,7 +64,8 @@ def main():
             f"{name:<8} {profile.seek_us:>8.0f} {profile.read_us:>8.0f} "
             f"{costs.baseline_elapsed_us / 1000:>11.1f} "
             f"{costs.sharded_elapsed_us / 1000:>11.1f} "
-            f"{costs.speedup:>7.2f}x {costs.overlap_factor:>8.2f}"
+            f"{costs.speedup:>7.2f}x {costs.overlap_factor:>8.2f} "
+            f"{costs.sharded_seeks:>7} {costs.sharded_sequential_ratio:>9.3f}"
         )
 
     print(

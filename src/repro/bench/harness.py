@@ -348,6 +348,13 @@ class OverlapCosts:
             run — divided by its elapsed time this is the overlap
             factor (1.0 = serial, N = N devices kept busy).
         baseline_busy_us: same for the baseline (≈ its elapsed time).
+        baseline_seeks / sharded_seeks: accesses that paid the
+            positioning cost (from the devices'
+            :class:`~repro.simio.stats.LatencyStats`).
+        baseline_sequential_hits / sharded_sequential_hits: accesses
+            that rode a sequential run instead — together with the
+            seeks, the device-level view of how well merged scans and
+            leaf-ordered sweeps preserve sequentiality.
     """
 
     profile: str
@@ -366,6 +373,10 @@ class OverlapCosts:
     sharded_writes: int
     baseline_busy_us: float
     sharded_busy_us: float
+    baseline_seeks: int = 0
+    baseline_sequential_hits: int = 0
+    sharded_seeks: int = 0
+    sharded_sequential_hits: int = 0
 
     @property
     def baseline_elapsed_us(self) -> float:
@@ -407,6 +418,18 @@ class OverlapCosts:
             return 1.0
         return self.sharded_busy_us / self.sharded_elapsed_us
 
+    @property
+    def baseline_sequential_ratio(self) -> float:
+        """Fraction of baseline accesses that skipped the seek."""
+        total = self.baseline_seeks + self.baseline_sequential_hits
+        return self.baseline_sequential_hits / total if total else 0.0
+
+    @property
+    def sharded_sequential_ratio(self) -> float:
+        """Fraction of sharded accesses that skipped the seek."""
+        total = self.sharded_seeks + self.sharded_sequential_hits
+        return self.sharded_sequential_hits / total if total else 0.0
+
     def snapshot(self) -> dict:
         """JSON-ready form for benchmark reports."""
         return {
@@ -430,6 +453,12 @@ class OverlapCosts:
             "update_speedup": self.update_speedup,
             "query_speedup": self.query_speedup,
             "overlap_factor": self.overlap_factor,
+            "baseline_seeks": self.baseline_seeks,
+            "baseline_sequential_hits": self.baseline_sequential_hits,
+            "baseline_sequential_ratio": self.baseline_sequential_ratio,
+            "sharded_seeks": self.sharded_seeks,
+            "sharded_sequential_hits": self.sharded_sequential_hits,
+            "sharded_sequential_ratio": self.sharded_sequential_ratio,
         }
 
 
@@ -455,6 +484,10 @@ class ServiceCosts:
         stats: the run's :class:`repro.service.ServiceStats`.
         pinned: True when the direct-replay equivalence check ran (and
             passed — a mismatch raises instead of reporting).
+        prefetch: the engine's prefetch policy mode for the run
+            (``auto`` / ``merge`` / ``exact``; None = legacy merge).
+        policy_state: the policy's final decision snapshot (mode, arm
+            scores, stratum counts) when a policy ran; None otherwise.
     """
 
     rate_per_sec: float
@@ -466,6 +499,8 @@ class ServiceCosts:
     n_requests: int
     stats: ServiceStats
     pinned: bool
+    prefetch: str | None = None
+    policy_state: dict | None = None
 
     @property
     def p99_us(self) -> float:
@@ -486,6 +521,8 @@ class ServiceCosts:
             "max_wait_us": self.max_wait_us,
             "n_requests": self.n_requests,
             "pinned": self.pinned,
+            "prefetch": self.prefetch,
+            "policy_state": self.policy_state,
             "stats": self.stats.snapshot(),
         }
 
@@ -670,7 +707,10 @@ class ExperimentHarness:
         )
 
     def run_batched_prq(
-        self, n_queries: int | None = None, window_side: float | None = None
+        self,
+        n_queries: int | None = None,
+        window_side: float | None = None,
+        prefetch: str | None = None,
     ) -> BatchQueryCosts:
         """Measure one PRQ workload one-at-a-time vs batch-executed.
 
@@ -684,6 +724,11 @@ class ExperimentHarness:
         cache warming to batching.  Result sets are asserted identical
         — the batch path is an I/O optimization, never an
         approximation.
+
+        ``prefetch`` selects the batch engine's prefetch-policy mode
+        (``"auto"`` / ``"merge"`` / ``"exact"``; None = legacy merge);
+        the sequential reference never prefetches, so the identity
+        assertion doubles as the policy's safety check.
         """
         count = n_queries if n_queries is not None else self.config.n_queries
         if count < 1:
@@ -706,7 +751,9 @@ class ExperimentHarness:
         self._start_measuring(self.peb_pool)
         self.peb_pool.clear()
         started = time.perf_counter()
-        report = QueryEngine(self.peb_tree).execute_batch(specs)
+        report = QueryEngine(
+            self.peb_tree, prefetch_policy=prefetch
+        ).execute_batch(specs)
         batched_seconds = time.perf_counter() - started
         batched_reads = self._stop_measuring(self.peb_pool)
 
@@ -1225,6 +1272,8 @@ class ExperimentHarness:
             reads = deployment.stats.physical_reads
             writes = deployment.stats.physical_writes
             busy_us = deployment.latency_stats.busy_us
+            seeks = deployment.latency_stats.seeks
+            sequential_hits = deployment.latency_stats.sequential_hits
 
             if pipeline.stats.ops != reference_pipeline.stats.ops:
                 raise AssertionError(
@@ -1243,17 +1292,25 @@ class ExperimentHarness:
                 raise AssertionError(
                     "timed deployment end state diverged from the reference"
                 )
-            return update_us, query_us, reads, writes, busy_us
+            return update_us, query_us, reads, writes, busy_us, seeks, sequential_hits
 
-        base_update_us, base_query_us, base_reads, base_writes, base_busy = timed_run(
-            1, overlapped=False
-        )
+        (
+            base_update_us,
+            base_query_us,
+            base_reads,
+            base_writes,
+            base_busy,
+            base_seeks,
+            base_seq_hits,
+        ) = timed_run(1, overlapped=False)
         (
             shard_update_us,
             shard_query_us,
             shard_reads,
             shard_writes,
             shard_busy,
+            shard_seeks,
+            shard_seq_hits,
         ) = timed_run(n_shards, overlapped=True)
 
         return OverlapCosts(
@@ -1273,6 +1330,10 @@ class ExperimentHarness:
             sharded_writes=shard_writes,
             baseline_busy_us=base_busy,
             sharded_busy_us=shard_busy,
+            baseline_seeks=base_seeks,
+            baseline_sequential_hits=base_seq_hits,
+            sharded_seeks=shard_seeks,
+            sharded_sequential_hits=shard_seq_hits,
         )
 
     # ------------------------------------------------------------------
@@ -1302,6 +1363,7 @@ class ExperimentHarness:
         breaker_policy=None,
         shed_after_us: float | None = None,
         arm_faults=None,
+        prefetch: str | None = None,
     ) -> ServiceCosts:
         """Serve one open-loop request stream and report sojourn SLOs.
 
@@ -1336,6 +1398,12 @@ class ExperimentHarness:
         returns a callable, that is invoked after the run and before
         the pin's audit scan (heal the disks there so the audit reads
         clean).
+
+        ``prefetch`` selects the engine's band-prefetch policy mode
+        (``"auto"`` / ``"merge"`` / ``"exact"``; None keeps the legacy
+        unconditional merge).  The pin replays on a policy-free
+        reference engine, so a passing pinned run *is* the proof that
+        the policy changed only I/O, never results.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -1394,8 +1462,9 @@ class ExperimentHarness:
             max_wait_us=max_wait_us,
             shed_after_us=shed_after_us,
         )
+        engine = ShardedQueryEngine(deployment, prefetch_policy=prefetch)
         service = SimulatedService(
-            ShardedQueryEngine(deployment),
+            engine,
             UpdatePipeline(deployment, capacity=batch_size),
             admission,
         )
@@ -1451,6 +1520,12 @@ class ExperimentHarness:
             n_requests=n_requests,
             stats=report.stats,
             pinned=pin,
+            prefetch=prefetch,
+            policy_state=(
+                engine.prefetch_policy.snapshot()
+                if engine.prefetch_policy is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

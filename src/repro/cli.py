@@ -116,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the overlapped deployment's per-shard work on a real "
         "thread pool too (virtual times and results are identical)",
     )
+    batch.add_argument(
+        "--prefetch",
+        choices=("auto", "merge", "exact"),
+        default=None,
+        help="band prefetch policy for the batched phase: merge "
+        "(unconditional, the default behavior), exact (no prefetch), "
+        "or auto (cost-model + feedback driven); results are identical "
+        "under every setting",
+    )
     batch.add_argument("--seed", type=int, default=7)
 
     batch_update = subparsers.add_parser(
@@ -194,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="pin",
         action="store_false",
         help="skip the direct-replay equivalence check (faster sweeps)",
+    )
+    serve.add_argument(
+        "--prefetch",
+        choices=("auto", "merge", "exact"),
+        default=None,
+        help="band prefetch policy of the serving engine (auto adapts "
+        "per stratum and batch from cost-model + latency feedback; "
+        "results are identical under every setting)",
     )
     serve.add_argument("--seed", type=int, default=7)
 
@@ -357,11 +374,13 @@ def run_batch_query(args) -> int:
         f"theta={config.grouping_factor} ..."
     )
     harness = ExperimentHarness(config)
-    costs = harness.run_batched_prq()
+    costs = harness.run_batched_prq(prefetch=args.prefetch)
 
+    policy_note = f", prefetch={args.prefetch}" if args.prefetch else ""
     table = SeriesTable(
         f"Cross-query band-scan batching ({costs.n_queries} PRQs, "
-        f"window {config.window_side:.0f}, {config.buffer_pages}-page buffer)",
+        f"window {config.window_side:.0f}, {config.buffer_pages}-page "
+        f"buffer{policy_note})",
         ["metric", "one-at-a-time", "batched"],
     )
     table.add_row(
@@ -503,10 +522,11 @@ def run_serve_sim(args) -> int:
     )
     harness = ExperimentHarness(config)
 
+    policy_note = f", prefetch={args.prefetch}" if args.prefetch else ""
     table = SeriesTable(
         f"Open-loop service ({args.arrival} arrivals, {args.requests} requests"
         f"/point, B={args.max_batch}, T={args.max_wait_us:.0f}us, "
-        f"{args.shards} shards, {args.latency})",
+        f"{args.shards} shards, {args.latency}{policy_note})",
         [
             "rate (req/s)",
             "throughput (req/s)",
@@ -529,6 +549,7 @@ def run_serve_sim(args) -> int:
             latency=args.latency,
             update_fraction=args.update_fraction,
             pin=args.pin,
+            prefetch=args.prefetch,
         )
         stats = costs.stats
         table.add_row(

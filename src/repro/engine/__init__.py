@@ -13,7 +13,10 @@ pipeline exactly once, in four layers (plus the write-path twin):
 2. :mod:`repro.engine.scanner` — the **band scanner**: executes band
    requests against the tree with per-``(tid, sv, z-range)``
    memoization inside a batch, plus a prefetch store that merges
-   overlapping requests across issuers.
+   overlapping requests across issuers; :mod:`repro.engine.policy`
+   supplies the optional **prefetch policy** that decides per stratum
+   whether merging pays under the active device profile, tuned online
+   by executor and service feedback.
 3. :mod:`repro.engine.executor` — the **executor**: drives plans in the
    paper's iteration order, and batches many concurrent query specs so
    one physical scan serves every query that needs it, returning
@@ -45,6 +48,7 @@ from repro.engine.plan import (
     QueryPlan,
     QueryPlanner,
 )
+from repro.engine.policy import PrefetchPolicy, StratumOutcome
 from repro.engine.scanner import BandScanner
 from repro.engine.updater import UpdateBuffer, UpdatePipeline, UpdateStats
 from repro.engine.verify import CandidateVerifier
@@ -57,10 +61,12 @@ __all__ = [
     "ExecutionStats",
     "PartitionContext",
     "PlannedBand",
+    "PrefetchPolicy",
     "QueryPlan",
     "QueryPlanner",
     "QueryEngine",
     "RangeExecution",
+    "StratumOutcome",
     "UpdateBuffer",
     "UpdatePipeline",
     "UpdateStats",

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.engine.plan import QueryPlan, QueryPlanner
+from repro.engine.policy import PrefetchPolicy
 from repro.engine.scanner import BandScanner
 from repro.engine.verify import CandidateVerifier
 from repro.motion.rows import BandRows
@@ -78,6 +79,17 @@ class ExecutionStats:
             surface; single-query executions report device time alone,
             so their virtual times are not directly comparable to a
             batch-of-one's.
+        entries_prefetched: index entries transferred by batch prefetch
+            scans (0 when prefetching was off or skipped).
+        dead_entries: prefetched entries outside every band actually
+            requested during replay — the merge policy's over-scan,
+            measurable even on untimed storage.
+        memo_evictions: bands dropped from the scanner's exact-identity
+            memo by its LRU entry bound (0 unless a batch outgrew it).
+        seeks: device positionings charged during the execution, when
+            the tree runs on timed devices; 0 on untimed storage.
+        sequential_hits: accesses that rode a sequential run instead of
+            seeking, under the same conditions.
     """
 
     bands_requested: int = 0
@@ -88,6 +100,11 @@ class ExecutionStats:
     shard_stats: "ShardStats | None" = None
     fault_stats: "FaultStats | None" = None
     virtual_time_us: float = 0.0
+    entries_prefetched: int = 0
+    dead_entries: int = 0
+    memo_evictions: int = 0
+    seeks: int = 0
+    sequential_hits: int = 0
 
     @property
     def dedup_ratio(self) -> float:
@@ -102,6 +119,13 @@ class ExecutionStats:
         if self.bands_requested == 0:
             return 0.0
         return max(0.0, 1.0 - self.bands_scanned / self.bands_requested)
+
+    @property
+    def overscan_ratio(self) -> float:
+        """Fraction of prefetched entries that no request consumed."""
+        if self.entries_prefetched == 0:
+            return 0.0
+        return self.dead_entries / self.entries_prefetched
 
 
 @dataclass
@@ -146,11 +170,23 @@ class QueryEngine:
             reference the benchmarks and property tests pin the packed
             path against; results and every counter are identical
             either way.
+        prefetch_policy: how batch execution prefetches merged bands —
+            a :class:`PrefetchPolicy`, a mode string (``"auto"`` /
+            ``"merge"`` / ``"exact"``, priced for this tree's device
+            via :meth:`PrefetchPolicy.for_tree`), or None for the
+            legacy unconditional merge.  Results are identical under
+            every setting; only I/O and virtual-time counters differ.
     """
 
-    def __init__(self, tree: "PEBTree", packed_scan: bool = True):
+    def __init__(
+        self,
+        tree: "PEBTree",
+        packed_scan: bool = True,
+        prefetch_policy: "PrefetchPolicy | str | None" = None,
+    ):
         self.tree = tree
         self.packed_scan = packed_scan
+        self.prefetch_policy = PrefetchPolicy.coerce(prefetch_policy, tree)
         self.planner = QueryPlanner(tree)
 
     # ------------------------------------------------------------------
@@ -331,18 +367,24 @@ class QueryEngine:
                 )
 
         scanner = self._batch_scanner()
+        policy = self.prefetch_policy
+        if policy is not None:
+            n_knn = sum(1 for plan in plans if plan is None)
+            policy.begin_batch(len(plans) - n_knn, n_knn)
         clock = getattr(self.tree, "sim_clock", None)
         elapsed_before = clock.elapsed if clock is not None else 0.0
         reads_before = self.tree.stats.physical_reads
+        latency = getattr(self.tree.stats, "latency", None)
+        seeks_before = latency.seeks if latency is not None else 0
+        seq_before = latency.sequential_hits if latency is not None else 0
         if prefetch:
-            def merged_bands():
+            def firm_bands():
                 for plan in plans:
                     if plan is not None:
                         for planned in plan.bands:
                             yield planned.band
-                yield from probe_bands
 
-            scanner.prefetch(merged_bands())
+            scanner.prefetch(firm_bands(), speculative=probe_bands)
 
         report = BatchReport()
         self._begin_replay(scanner)
@@ -373,6 +415,21 @@ class QueryEngine:
         report.stats.physical_reads = self.tree.stats.physical_reads - reads_before
         if clock is not None:
             report.stats.virtual_time_us = clock.elapsed - elapsed_before
+        outcomes = scanner.policy_outcomes()
+        report.stats.entries_prefetched = scanner.entries_prefetched
+        report.stats.dead_entries = sum(o.dead_entries for o in outcomes.values())
+        report.stats.memo_evictions = scanner.memo_evictions
+        if latency is not None:
+            report.stats.seeks = latency.seeks - seeks_before
+            report.stats.sequential_hits = latency.sequential_hits - seq_before
+        if policy is not None:
+            policy.observe_batch(
+                outcomes,
+                physical_reads=report.stats.physical_reads,
+                virtual_time_us=report.stats.virtual_time_us,
+                n_requests=len(specs),
+                seeks=report.stats.seeks,
+            )
         self._finish_batch_stats(report)
         return report
 
@@ -385,7 +442,9 @@ class QueryEngine:
         identical, which is what keeps sharded results pinned to the
         single-tree path.
         """
-        return BandScanner(self.tree, packed=self.packed_scan)
+        return BandScanner(
+            self.tree, packed=self.packed_scan, policy=self.prefetch_policy
+        )
 
     def _timing(self):
         """``(clock, model)`` when the tree runs on timed devices."""

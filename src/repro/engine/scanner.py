@@ -7,13 +7,23 @@ from three tiers, cheapest first:
 1. **Memo** — an exact-identity cache: a band already scanned in this
    scanner's lifetime (one query, or one whole batch) is replayed from
    memory.  Two friends sharing a quantized SV, or two queries asking
-   for the identical band, cost one physical scan.
+   for the identical band, cost one physical scan.  The memo is
+   bounded (:data:`DEFAULT_MEMO_ENTRIES` entries, LRU): a long-lived
+   batch scanner over a huge stratum evicts its coldest bands and
+   re-scans them on a later request — eviction can only cost I/O,
+   never change a result.
 2. **Prefetch store** — :meth:`BandScanner.prefetch` takes the union of
    many plans' band requests, groups the single-SV ones by
    ``(tid, sv_q)``, merges their overlapping Z-intervals, and scans
    each merged interval *once*.  Later requests contained in the
    prefetched coverage are answered by bisecting the in-memory entries
    — this is the cross-query sharing that makes batch execution cheap.
+   When a :class:`~repro.engine.policy.PrefetchPolicy` is attached, it
+   decides per stratum whether that merge happens at all, which
+   intervals join it (speculative kNN probes are segregated from firm
+   plan bands), and whether coverage runs are coalesced across gaps —
+   the store always serves by exact bisection, so the policy can only
+   move I/O counters, never results.
 3. **Physical scan** — anything else goes to the tree.
 
 The scanner assumes the tree is not mutated while it is alive (queries
@@ -37,19 +47,36 @@ identical to scanning the tree whether a consumer uses the columns or
 the legacy pair protocol.  Constructing with ``packed=False`` (or a
 tree without ``scan_band_rows``) restores the per-entry generator path,
 kept as the benchmark reference.
+
+Alongside the tiers the scanner keeps per-stratum accounting
+(:class:`~repro.engine.policy.StratumOutcome`): how much each
+``(tid, sv_q)`` group prefetched, how much of that coverage the
+replayed queries actually requested, and how many transferred entries
+were *dead* (outside every requested interval).  The executor surfaces
+the totals on :class:`~repro.engine.executor.ExecutionStats` and feeds
+the per-stratum detail back to the policy.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterable
 
 from repro.engine.plan import BandRequest
+from repro.engine.policy import StratumOutcome
 from repro.motion.rows import BandRows
 from repro.spatial.decompose import ZInterval, merge_intervals
 
 if TYPE_CHECKING:
     from repro.core.peb_tree import PEBTree
+    from repro.engine.policy import PrefetchPolicy
+
+#: Default bound on the exact-identity memo, in stored entries.  Large
+#: enough that no in-repo workload evicts (the pins stay exact-cost),
+#: small enough that a pathological stratum cannot hold the whole
+#: dataset in the memo on top of the prefetch store.
+DEFAULT_MEMO_ENTRIES = 262_144
 
 
 class BandScanner:
@@ -64,6 +91,14 @@ class BandScanner:
         packed: serve scans as :class:`BandRows` columns (the default);
             trees without a ``scan_band_rows`` fast path fall back to
             the per-entry protocol automatically.
+        policy: optional :class:`PrefetchPolicy` consulted per stratum
+            during :meth:`prefetch`; None keeps the unconditional-merge
+            behavior.
+        memo_entries: LRU bound on the exact-identity memo, counted in
+            stored entries (not bands).
+        scope: opaque id namespacing this scanner's strata in policy
+            state — the sharded engine gives each per-shard scanner its
+            shard index, so concurrent shards never share a stratum key.
 
     Attributes:
         requests: band requests received via :meth:`scan`.
@@ -71,21 +106,37 @@ class BandScanner:
             merges).
         memo_hits: requests served from the exact-identity cache.
         store_hits: requests served from the prefetched band store.
+        memo_evictions: bands evicted from the memo by the LRU bound.
+        entries_prefetched: entries transferred by prefetch scans.
     """
 
-    def __init__(self, tree: "PEBTree", packed: bool = True):
+    def __init__(
+        self,
+        tree: "PEBTree",
+        packed: bool = True,
+        policy: "PrefetchPolicy | None" = None,
+        memo_entries: int = DEFAULT_MEMO_ENTRIES,
+        scope: int = 0,
+    ):
         self.tree = tree
         self.packed = bool(packed) and hasattr(tree, "scan_band_rows")
+        self.policy = policy
+        self.memo_entries = memo_entries
+        self.scope = scope
         self.requests = 0
         self.physical_scans = 0
         self.memo_hits = 0
         self.store_hits = 0
-        self._memo: dict[tuple, "BandRows | list"] = {}
+        self.memo_evictions = 0
+        self.entries_prefetched = 0
+        self._memo: "OrderedDict[tuple, BandRows | list]" = OrderedDict()
+        self._memo_size = 0
         # (tid, sv_q) -> (coverage intervals, sorted zvs, rows); the
         # zvs list mirrors the rows for bisection.
         self._store: dict[
             tuple[int, int], tuple[list[ZInterval], list[int], "BandRows | list"]
         ] = {}
+        self._outcomes: dict[tuple[int, int], StratumOutcome] = {}
 
     @property
     def deduped(self) -> int:
@@ -99,22 +150,36 @@ class BandScanner:
     def scan(self, band: BandRequest) -> "BandRows | list":
         """All entries of one band, as ``(zv, object)`` rows in key order."""
         self.requests += 1
+        single_sv = band.sv_lo_q == band.sv_hi_q
+        outcome = None
+        if single_sv:
+            outcome = self._outcome(band.tid, band.sv_lo_q)
+            outcome.requests += 1
+            outcome.requested.append((band.z_lo, band.z_hi))
         key = band.key
         cached = self._memo.get(key)
         if cached is not None:
             self.memo_hits += 1
+            self._memo.move_to_end(key)
             return cached
-        if band.sv_lo_q == band.sv_hi_q:
+        if single_sv:
             served = self._from_store(band)
             if served is not None:
                 self.store_hits += 1
-                self._memo[key] = served
+                self._memo_put(key, served)
                 return served
         rows = self._physical_scan(band)
-        self._memo[key] = rows
+        if outcome is not None:
+            outcome.observed_entries += len(rows)
+            outcome.observed_zv += band.z_hi - band.z_lo + 1
+        self._memo_put(key, rows)
         return rows
 
-    def prefetch(self, bands: Iterable[BandRequest]) -> None:
+    def prefetch(
+        self,
+        bands: Iterable[BandRequest],
+        speculative: Iterable[BandRequest] = (),
+    ) -> None:
         """Scan the merged union of many plans' bands once, up front.
 
         Single-SV bands are grouped by ``(tid, sv_q)`` and their
@@ -123,17 +188,35 @@ class BandScanner:
         memo/physical tiers, and non-SV-major key layouts skip
         prefetching entirely (subdividing their scans by ZV would
         return entries a direct scan excludes).
+
+        Args:
+            bands: firm band requests — static range plans whose bands
+                are known to be (an upper bound on) what replay asks.
+            speculative: probe hints (the kNN first-round squares) that
+                replay may never request.  Without a policy they join
+                the merge unconditionally, preserving the legacy
+                behavior; with one, the policy decides per stratum.
         """
         if not getattr(self.tree.codec, "sv_major", False):
             return
-        grouped: dict[tuple[int, int], list[ZInterval]] = {}
+        grouped: dict[tuple[int, int], tuple[list[ZInterval], list[ZInterval]]] = {}
         for band in bands:
             if band.is_single_sv:
-                grouped.setdefault((band.tid, band.sv_lo_q), []).append(
+                grouped.setdefault((band.tid, band.sv_lo_q), ([], []))[0].append(
                     (band.z_lo, band.z_hi)
                 )
-        for (tid, sv_q), intervals in grouped.items():
-            coverage = merge_intervals(sorted(intervals))
+        for band in speculative:
+            if band.is_single_sv:
+                grouped.setdefault((band.tid, band.sv_lo_q), ([], []))[1].append(
+                    (band.z_lo, band.z_hi)
+                )
+        for (tid, sv_q), (firm, spec) in grouped.items():
+            if self.policy is not None:
+                coverage = self.policy.decide(self.scope, tid, sv_q, firm, spec)
+                if coverage is None:
+                    continue
+            else:
+                coverage = merge_intervals(sorted(firm + spec))
             parts = [
                 self._physical_scan(BandRequest(tid, sv_q, sv_q, z_lo, z_hi))
                 for z_lo, z_hi in coverage
@@ -143,6 +226,7 @@ class BandScanner:
             if self.packed:
                 rows = BandRows.concat(parts) if parts else BandRows.empty()
                 self._store[(tid, sv_q)] = (coverage, rows.zvs, rows)
+                prefetched = len(rows)
             else:
                 entries = [entry for part in parts for entry in part]
                 self._store[(tid, sv_q)] = (
@@ -150,10 +234,88 @@ class BandScanner:
                     [zv for zv, _ in entries],
                     entries,
                 )
+                prefetched = len(entries)
+            self.entries_prefetched += prefetched
+            outcome = self._outcome(tid, sv_q)
+            outcome.coverage_runs += len(coverage)
+            outcome.coverage_zv += sum(hi - lo + 1 for lo, hi in coverage)
+            outcome.prefetched_entries += prefetched
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _outcome(self, tid: int, sv_q: int) -> StratumOutcome:
+        outcome = self._outcomes.get((tid, sv_q))
+        if outcome is None:
+            outcome = self._outcomes[(tid, sv_q)] = StratumOutcome(tid, sv_q)
+        return outcome
+
+    def stratum_outcomes(self) -> dict[tuple[int, int], StratumOutcome]:
+        """Finalized per-stratum accounting for this scanner's lifetime.
+
+        Derives the summary fields from the raw requested intervals:
+        the distinct-band count, the requested-union width, and — for
+        prefetched strata — how many stored entries fell outside every
+        requested interval (:attr:`StratumOutcome.dead_entries`).
+        Idempotent; call after the batch's replay loop.
+        """
+        for (tid, sv_q), outcome in self._outcomes.items():
+            if outcome.requested:
+                merged = merge_intervals(sorted(outcome.requested))
+                outcome.unique_bands = len(set(outcome.requested))
+                outcome.requested_zv = sum(hi - lo + 1 for lo, hi in merged)
+            else:
+                merged = []
+                outcome.unique_bands = 0
+                outcome.requested_zv = 0
+            stored = self._store.get((tid, sv_q))
+            if stored is None:
+                outcome.dead_entries = 0
+                continue
+            _, zvs, _ = stored
+            used = sum(
+                bisect_right(zvs, hi) - bisect_left(zvs, lo) for lo, hi in merged
+            )
+            outcome.dead_entries = len(zvs) - used
+        return self._outcomes
+
+    def policy_outcomes(
+        self,
+    ) -> dict[tuple[int, int, int], StratumOutcome]:
+        """Finalized outcomes keyed for policy feedback: (scope, tid, sv_q).
+
+        The scatter/gather scanner exposes the same method aggregating
+        its per-shard scanners, so the executor feeds the policy one
+        uniform dict whatever the deployment shape.
+        """
+        return {
+            (self.scope, tid, sv_q): outcome
+            for (tid, sv_q), outcome in self.stratum_outcomes().items()
+        }
+
+    @property
+    def dead_entries(self) -> int:
+        """Prefetched entries no replayed request asked for (finalized)."""
+        return sum(o.dead_entries for o in self.stratum_outcomes().values())
 
     # ------------------------------------------------------------------
     # Tiers
     # ------------------------------------------------------------------
+
+    def _memo_put(self, key: tuple, rows: "BandRows | list") -> None:
+        """Insert into the memo, evicting LRU bands past the entry bound.
+
+        The newest band is always kept, even when it alone exceeds the
+        bound — evicting it would make the memo useless for the very
+        request that populated it.
+        """
+        self._memo[key] = rows
+        self._memo_size += len(rows)
+        while self._memo_size > self.memo_entries and len(self._memo) > 1:
+            _, evicted = self._memo.popitem(last=False)
+            self._memo_size -= len(evicted)
+            self.memo_evictions += 1
 
     def _from_store(self, band: BandRequest) -> "BandRows | list | None":
         """Serve a band from the prefetched store, or None if uncovered."""
@@ -181,4 +343,4 @@ class BandScanner:
         )
 
 
-__all__ = ["BandScanner"]
+__all__ = ["BandScanner", "DEFAULT_MEMO_ENTRIES"]

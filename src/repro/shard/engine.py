@@ -81,6 +81,7 @@ class ShardScatterScanner:
         max_workers: int | None = None,
         scheduler: IOScheduler | None = None,
         packed: bool = True,
+        policy=None,
     ):
         self.tree = sharded
         self.scheduler = (
@@ -94,7 +95,13 @@ class ShardScatterScanner:
         )
         self.packed = packed
         self.supervisor = getattr(sharded, "supervisor", None)
-        self.scanners = [BandScanner(tree, packed=packed) for tree in sharded.trees]
+        # Each per-shard scanner gets its shard index as the policy
+        # scope: concurrent prefetch jobs then touch disjoint stratum
+        # keys, so the shared policy's feedback never mixes shards.
+        self.scanners = [
+            BandScanner(tree, packed=packed, policy=policy, scope=i)
+            for i, tree in enumerate(sharded.trees)
+        ]
         self.requests = 0
         self.dropped_subbands = 0
         self.shard_ends: dict[int, float] = {}
@@ -127,6 +134,25 @@ class ShardScatterScanner:
     def deduped(self) -> int:
         """Sub-requests served without a physical scan."""
         return self.memo_hits + self.store_hits
+
+    @property
+    def entries_prefetched(self) -> int:
+        return sum(scanner.entries_prefetched for scanner in self.scanners)
+
+    @property
+    def memo_evictions(self) -> int:
+        return sum(scanner.memo_evictions for scanner in self.scanners)
+
+    def policy_outcomes(self) -> dict:
+        """Per-stratum accounting across every shard scanner.
+
+        Keys are ``(shard, tid, sv_q)`` — the per-shard scanners carry
+        their shard index as scope, so the merged dict never collides.
+        """
+        merged: dict = {}
+        for scanner in self.scanners:
+            merged.update(scanner.policy_outcomes())
+        return merged
 
     # ------------------------------------------------------------------
     # Scanning
@@ -182,55 +208,71 @@ class ShardScatterScanner:
         self.dropped_subbands += 1
         self.supervisor.note_dropped_band()
 
-    def prefetch(self, bands: Iterable[BandRequest]) -> None:
+    def prefetch(
+        self,
+        bands: Iterable[BandRequest],
+        speculative: Iterable[BandRequest] = (),
+    ) -> None:
         """Scatter the batch's merged bands; prefetch each shard once.
 
         Per-shard prefetching inherits all of
         :meth:`BandScanner.prefetch`'s semantics (single-SV grouping,
-        interval merging, the SV-major layout guard).  The shard jobs
-        run through the scheduler: they touch disjoint trees, pools,
-        and counters, so the resulting stores and I/O counts are
+        interval merging, the SV-major layout guard, the firm vs
+        speculative split the attached policy arbitrates).  The shard
+        jobs run through the scheduler: they touch disjoint trees,
+        pools, and counters, so the resulting stores and I/O counts are
         identical to a sequential loop whether the scheduler uses
         threads, virtual overlap, both, or neither.  On a timed
         deployment each shard's virtual finish instant is recorded in
         :attr:`shard_ends` for the engine's verify pipelining.
         """
         per_shard: dict[int, list[BandRequest]] = {}
+        spec_shard: dict[int, list[BandRequest]] = {}
         for band in bands:
             for shard, sub in self._split(band):
                 per_shard.setdefault(shard, []).append(sub)
-        jobs = sorted(per_shard.items())
+        for band in speculative:
+            for shard, sub in self._split(band):
+                spec_shard.setdefault(shard, []).append(sub)
+        jobs = sorted(
+            (shard, per_shard.get(shard, []), spec_shard.get(shard, []))
+            for shard in per_shard.keys() | spec_shard.keys()
+        )
         if self.supervisor is not None:
             # admits() opens the half-open probe window: the first
             # prefetch after a cooldown *is* the probe, run under the
             # retry policy like any other shard job.  A shard whose
             # prefetch fails (or stays quarantined) simply has nothing
             # in its scanner's store; scan() drops it with accounting.
-            jobs = [
-                (shard, subs) for shard, subs in jobs if self.supervisor.admits(shard)
-            ]
+            jobs = [job for job in jobs if self.supervisor.admits(job[0])]
         if not jobs:
             return
         clock = self.scheduler.clock
         self.prefetch_base = clock.cursor() if clock is not None else 0.0
         if self.supervisor is None:
             thunks = [
-                (lambda scanner=self.scanners[shard], subs=subs: scanner.prefetch(subs))
-                for shard, subs in jobs
+                (
+                    lambda scanner=self.scanners[shard], subs=subs, spec=spec:
+                        scanner.prefetch(subs, speculative=spec)
+                )
+                for shard, subs, spec in jobs
             ]
         else:
             thunks = [
                 (
-                    lambda shard=shard, subs=subs: self.supervisor.run(
-                        shard, lambda: self.scanners[shard].prefetch(subs)
+                    lambda shard=shard, subs=subs, spec=spec: self.supervisor.run(
+                        shard,
+                        lambda: self.scanners[shard].prefetch(
+                            subs, speculative=spec
+                        ),
                     )
                 )
-                for shard, subs in jobs
+                for shard, subs, spec in jobs
             ]
         _, ends = self.scheduler.run_timed(thunks)
         if clock is not None:
             self.shard_ends = {
-                shard: end for (shard, _), end in zip(jobs, ends)
+                shard: end for (shard, _, _), end in zip(jobs, ends)
             }
 
     def ready_time(self, bands: Iterable[BandRequest]) -> float | None:
@@ -269,6 +311,10 @@ class ShardedQueryEngine(QueryEngine):
         pipeline_verify: overlap verification CPU with shard scans in
             virtual time (timed deployments only; timing-neutral
             everywhere else).
+        prefetch_policy: forwarded to :class:`QueryEngine` — a
+            :class:`~repro.engine.policy.PrefetchPolicy`, a mode
+            string, or None; the scatter scanner hands it to every
+            per-shard scanner with the shard index as scope.
     """
 
     def __init__(
@@ -278,8 +324,11 @@ class ShardedQueryEngine(QueryEngine):
         max_workers: int | None = None,
         pipeline_verify: bool = True,
         packed_scan: bool = True,
+        prefetch_policy=None,
     ):
-        super().__init__(sharded, packed_scan=packed_scan)
+        super().__init__(
+            sharded, packed_scan=packed_scan, prefetch_policy=prefetch_policy
+        )
         if parallel_prefetch is None:
             parallel_prefetch = sharded.io.use_threads
         self.parallel_prefetch = parallel_prefetch
@@ -302,6 +351,7 @@ class ShardedQueryEngine(QueryEngine):
             parallel=self.parallel_prefetch,
             max_workers=self.max_workers,
             packed=self.packed_scan,
+            policy=self.prefetch_policy,
         )
 
     def _drop_marker(self, scanner) -> int:
