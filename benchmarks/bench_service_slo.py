@@ -129,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_service.json",
         help="write machine-readable results here ('' disables)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="re-run the gated point with the virtual-time trace recorder "
+        "attached, write a Chrome trace-event file, and gate on the "
+        "traced run being bit-identical to the untraced one",
+    )
     parser.add_argument("--seed", type=int, default=7)
     return parser
 
@@ -254,6 +262,41 @@ def main(argv: list[str] | None = None) -> int:
             f"{rates[-1]:.0f} exceeds the {args.max_p99_ms:.0f}ms bound"
         )
 
+    # Gate 3 (only with --trace): tracing is observationally inert — the
+    # gated point re-run with the recorder attached must produce a
+    # bit-identical snapshot (results, counters, virtual time).
+    traced_identical = None
+    if args.trace:
+        from repro.obs import TraceRecorder, write_trace
+
+        _, gate_batch, gate_wait = policies[-1]
+        recorder = TraceRecorder()
+        traced = harness.run_service(
+            rates[-1],
+            n_requests=args.requests,
+            max_batch=gate_batch,
+            max_wait_us=gate_wait,
+            arrival=args.arrival,
+            n_shards=args.shards,
+            latency=args.latency,
+            update_fraction=args.update_fraction,
+            knn_fraction=args.knn_fraction,
+            shard_buffer_pages=args.shard_buffer_pages,
+            pin=args.pin,
+            trace_recorder=recorder,
+        )
+        untraced_snapshot = {
+            key: value for key, value in batched_gate.items() if key != "policy"
+        }
+        traced_identical = traced.snapshot() == untraced_snapshot
+        if not traced_identical:
+            failures.append(
+                f"traced re-run of {batched_label} at rate {rates[-1]:.0f} "
+                "diverged from the untraced run (tracing must be inert)"
+            )
+        write_trace(recorder, args.trace)
+        print(f"Wrote {args.trace} (traced == untraced: {traced_identical})")
+
     if args.json_path:
         payload = {
             "benchmark": "service_slo",
@@ -288,6 +331,7 @@ def main(argv: list[str] | None = None) -> int:
                 "batched_reads_per_request": batched_reads,
                 "batched_p99_ms": batched_p99_ms,
                 "max_p99_ms": args.max_p99_ms,
+                "traced_identical": traced_identical,
                 "failures": failures,
             },
         }

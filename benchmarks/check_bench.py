@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Compare freshly produced BENCH_*.json files against committed baselines.
+
+The benchmark scripts write their results as ``BENCH_<name>.json`` in the
+repository root; several of those files are committed as baselines.  After
+re-running a benchmark, this script diffs every numeric leaf of the fresh
+file against the version committed at HEAD (``git show HEAD:<name>``) and
+prints per-metric deltas, so a perf regression (or improvement) shows up
+as a table instead of a JSON diff.
+
+The check is **warn-only by default**: benchmark numbers move with the
+host, so CI runs it for visibility, not as a gate.  ``--strict`` turns
+any delta beyond ``--tolerance`` (relative, default 10%) into a non-zero
+exit for local use.
+
+Usage::
+
+    python benchmarks/check_bench.py               # all BENCH_*.json
+    python benchmarks/check_bench.py BENCH_service.json --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Keys whose values identify the run rather than measure it; their
+#: drift means "different config", not "perf change", so they are
+#: compared but never counted toward --strict failures.
+CONFIG_KEYS = ("config",)
+
+
+def flatten(value, prefix: str = "") -> dict[str, float]:
+    """Flatten numeric leaves of a JSON value to dotted-path -> number."""
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for key in sorted(value):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten(value[key], path))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(flatten(item, f"{prefix}[{index}]"))
+    return out
+
+
+def baseline_for(name: str) -> dict | None:
+    """The committed version of ``name`` at HEAD, or None if untracked."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:{name}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        return json.loads(blob)
+    except ValueError:
+        return None
+
+
+def compare(name: str, tolerance: float) -> tuple[int, int]:
+    """Print the delta table for one file; returns (compared, exceeded)."""
+    path = os.path.join(REPO_ROOT, name)
+    with open(path) as handle:
+        fresh = json.load(handle)
+    baseline = baseline_for(name)
+    if baseline is None:
+        print(f"{name}: no committed baseline at HEAD (skipping)")
+        return 0, 0
+
+    fresh_flat = flatten(fresh)
+    base_flat = flatten(baseline)
+    keys = sorted(set(fresh_flat) | set(base_flat))
+
+    print(f"{name}: {len(keys)} metrics vs HEAD baseline")
+    exceeded = 0
+    compared = 0
+    for key in keys:
+        now = fresh_flat.get(key)
+        then = base_flat.get(key)
+        if now is None or then is None:
+            which = "baseline only" if now is None else "fresh only"
+            print(f"  {key:<60} {which}")
+            continue
+        compared += 1
+        delta = now - then
+        if delta == 0:
+            continue
+        rel = delta / abs(then) if then != 0 else float("inf")
+        flag = ""
+        is_config = key.split(".", 1)[0] in CONFIG_KEYS
+        if not is_config and abs(rel) > tolerance:
+            exceeded += 1
+            flag = "  <-- beyond tolerance"
+        rel_text = f"{rel:+.1%}" if rel != float("inf") else "new!=0"
+        print(f"  {key:<60} {then:>14g} -> {now:<14g} ({rel_text}){flag}")
+    if exceeded == 0:
+        print(f"  all {compared} shared metrics within {tolerance:.0%}")
+    return compared, exceeded
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="BENCH_*.json files to check (default: every one in repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative delta beyond which a metric is flagged (default 0.10)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any non-config metric exceeds tolerance "
+        "(default: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.files or sorted(
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    )
+    if not names:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+
+    total_exceeded = 0
+    for name in names:
+        if not os.path.exists(os.path.join(REPO_ROOT, name)):
+            print(f"{name}: missing (skipping)")
+            continue
+        _, exceeded = compare(name, args.tolerance)
+        total_exceeded += exceeded
+        print()
+    if total_exceeded:
+        print(
+            f"{total_exceeded} metric(s) beyond tolerance"
+            + ("" if args.strict else " (warn-only)")
+        )
+        return 1 if args.strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

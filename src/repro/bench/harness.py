@@ -25,6 +25,7 @@ from repro.core.pknn import pknn
 from repro.core.prq import prq
 from repro.engine import QueryEngine, UpdatePipeline
 from repro.core.sequencing import EncodingReport, assign_sequence_values
+from repro.obs import MetricsRegistry, attach_recorder
 from repro.service import (
     BatchPolicy,
     OpenLoopGenerator,
@@ -711,6 +712,7 @@ class ExperimentHarness:
         n_queries: int | None = None,
         window_side: float | None = None,
         prefetch: str | None = None,
+        trace_recorder=None,
     ) -> BatchQueryCosts:
         """Measure one PRQ workload one-at-a-time vs batch-executed.
 
@@ -750,12 +752,29 @@ class ExperimentHarness:
 
         self._start_measuring(self.peb_pool)
         self.peb_pool.clear()
+        if trace_recorder is not None:
+            # The harness tree runs on untimed storage, so these spans
+            # carry counters rather than durations; `serve-sim --trace`
+            # is the timed surface.
+            attach_recorder(self.peb_tree, trace_recorder)
         started = time.perf_counter()
-        report = QueryEngine(
-            self.peb_tree, prefetch_policy=prefetch
-        ).execute_batch(specs)
+        try:
+            report = QueryEngine(
+                self.peb_tree, prefetch_policy=prefetch
+            ).execute_batch(specs)
+        finally:
+            if trace_recorder is not None:
+                self.peb_tree.trace_recorder = None
         batched_seconds = time.perf_counter() - started
         batched_reads = self._stop_measuring(self.peb_pool)
+        if trace_recorder is not None and getattr(trace_recorder, "enabled", False):
+            registry = MetricsRegistry()
+            report.stats.publish(registry)
+            trace_recorder.metadata("metrics", registry.snapshot())
+            trace_recorder.metadata(
+                "run_config",
+                {"verb": "batch-query", "n_queries": count, "prefetch": prefetch},
+            )
 
         for spec, single, batched in zip(specs, sequential, report.results):
             if single.uids != batched.uids:
@@ -1364,6 +1383,7 @@ class ExperimentHarness:
         shed_after_us: float | None = None,
         arm_faults=None,
         prefetch: str | None = None,
+        trace_recorder=None,
     ) -> ServiceCosts:
         """Serve one open-loop request stream and report sojourn SLOs.
 
@@ -1404,6 +1424,14 @@ class ExperimentHarness:
         unconditional merge).  The pin replays on a policy-free
         reference engine, so a passing pinned run *is* the proof that
         the policy changed only I/O, never results.
+
+        ``trace_recorder`` (a :class:`repro.obs.trace.TraceRecorder`)
+        attaches to the freshly built deployment before the run:
+        spans land on the shared virtual clock, exemplar tail requests
+        are sampled, and the run's stats plus a metrics-registry
+        snapshot are embedded as trace metadata.  Tracing is
+        observationally inert — a traced run returns bit-identical
+        costs — and the pin above runs either way.
         """
         if n_shards < 1:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -1456,6 +1484,8 @@ class ExperimentHarness:
             pool.clear()
             pool.resize(per_shard_pages)
         deployment.stats.reset()
+        if trace_recorder is not None:
+            attach_recorder(deployment, trace_recorder)
 
         admission = BatchPolicy(
             max_batch=max_batch,
@@ -1463,15 +1493,40 @@ class ExperimentHarness:
             shed_after_us=shed_after_us,
         )
         engine = ShardedQueryEngine(deployment, prefetch_policy=prefetch)
-        service = SimulatedService(
-            engine,
-            UpdatePipeline(deployment, capacity=batch_size),
-            admission,
-        )
+        pipeline = UpdatePipeline(deployment, capacity=batch_size)
+        service = SimulatedService(engine, pipeline, admission)
         disarm = arm_faults(deployment) if arm_faults is not None else None
         report = service.run(stream)
         if callable(disarm):
             disarm()
+
+        if trace_recorder is not None and getattr(trace_recorder, "enabled", False):
+            # One queryable snapshot across every layer's stats dialect,
+            # embedded in the trace (read before the pin's audit scan
+            # touches the counters).
+            registry = MetricsRegistry()
+            report.stats.publish(registry)
+            pipeline.stats.publish(registry)
+            deployment.shard_stats().publish(registry)
+            deployment.stats.publish(registry)
+            trace_recorder.metadata("metrics", registry.snapshot())
+            trace_recorder.metadata(
+                "run_config",
+                {
+                    "rate_per_sec": rate_per_sec,
+                    "n_requests": n_requests,
+                    "max_batch": max_batch,
+                    "max_wait_us": max_wait_us,
+                    "arrival": arrival,
+                    "n_shards": n_shards,
+                    "profile": latency if isinstance(latency, str) else latency.name,
+                    "update_fraction": update_fraction,
+                    "knn_fraction": knn_fraction,
+                    "policy": policy,
+                    "prefetch": prefetch,
+                    "workload_seed": workload_seed,
+                },
+            )
 
         if pin:
             clone = clone_peb_tree(

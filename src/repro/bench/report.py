@@ -19,7 +19,6 @@ verbatim and takes correspondingly longer.
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 
 from repro.bench.experiments import (
@@ -38,6 +37,7 @@ from repro.bench.experiments import (
     fig19_cost_model,
     scale_preset,
 )
+from repro.obs.timer import timer
 
 
 @dataclass
@@ -545,9 +545,9 @@ def generate(output_path: str, preset: ScalePreset | None = None) -> str:
     """Run every experiment and write the report; returns the markdown."""
     active = preset if preset is not None else scale_preset()
     cache = HarnessCache()
-    started = time.perf_counter()
+    watch = timer()
     sections = build_all_sections(active, cache)
-    elapsed = time.perf_counter() - started
+    elapsed = watch.stop()
     markdown = render_report(active, sections, elapsed)
     with open(output_path, "w") as handle:
         handle.write(markdown)

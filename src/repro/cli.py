@@ -24,6 +24,16 @@ Six subcommands cover the library's workflows end to end:
   print its series as a table.
 * ``report`` — regenerate *every* figure and write EXPERIMENTS.md.
 * ``cost-model`` — evaluate the Section 6 analytical cost function.
+* ``trace-report`` — summarize a ``--trace`` JSON file (per-phase
+  virtual-time breakdown, per-device overlap, instant counts) without
+  opening Perfetto.
+
+``serve-sim`` and ``batch-query`` accept ``--trace out.json``: the run
+records virtual-time spans (queue waits, batch phases, per-shard scans,
+fault instants, tail-request exemplars) and writes a Chrome trace-event
+file loadable at https://ui.perfetto.dev.  Tracing is observationally
+inert: a traced run's results and counters are bit-identical to an
+untraced one.
 
 All randomness is seeded; identical invocations print identical numbers.
 """
@@ -125,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
         "or auto (cost-model + feedback driven); results are identical "
         "under every setting",
     )
+    batch.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record virtual-time spans of the batched phase and write "
+        "a Chrome trace-event file (open in Perfetto; untimed storage "
+        "makes these spans counter-only markers — serve-sim --trace is "
+        "the timed surface)",
+    )
     batch.add_argument("--seed", type=int, default=7)
 
     batch_update = subparsers.add_parser(
@@ -212,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
         "per stratum and batch from cost-model + latency feedback; "
         "results are identical under every setting)",
     )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="record virtual-time spans of the highest-rate sweep point "
+        "(queue waits, batch phases, per-shard device tracks, fault "
+        "instants, tail-request exemplars) and write a Chrome "
+        "trace-event file loadable in Perfetto",
+    )
     serve.add_argument("--seed", type=int, default=7)
 
     encode = subparsers.add_parser(
@@ -240,6 +268,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("reduced", "paper"), default="reduced"
     )
     report.add_argument("--output", default="EXPERIMENTS.md")
+
+    trace_report = subparsers.add_parser(
+        "trace-report",
+        help="summarize a --trace JSON file: per-phase virtual time, "
+        "per-device overlap, instant counts",
+    )
+    trace_report.add_argument("path", help="trace file written by --trace")
 
     cost = subparsers.add_parser(
         "cost-model", help="evaluate the Section 6 cost function"
@@ -374,7 +409,14 @@ def run_batch_query(args) -> int:
         f"theta={config.grouping_factor} ..."
     )
     harness = ExperimentHarness(config)
-    costs = harness.run_batched_prq(prefetch=args.prefetch)
+    recorder = None
+    if args.trace:
+        from repro.obs import TraceRecorder
+
+        recorder = TraceRecorder()
+    costs = harness.run_batched_prq(
+        prefetch=args.prefetch, trace_recorder=recorder
+    )
 
     policy_note = f", prefetch={args.prefetch}" if args.prefetch else ""
     table = SeriesTable(
@@ -397,6 +439,12 @@ def run_batch_query(args) -> int:
     table.add_row("band dedup ratio", "-", f"{costs.dedup_ratio:.3f}")
     table.print()
     print("\nBatched result sets verified identical to sequential. OK")
+
+    if recorder is not None:
+        from repro.obs import write_trace
+
+        write_trace(recorder, args.trace)
+        print(f"Wrote trace to {args.trace} (open at https://ui.perfetto.dev)")
 
     if args.shards:
         sharded = harness.run_sharded(
@@ -538,7 +586,15 @@ def run_serve_sim(args) -> int:
             "saturated",
         ],
     )
+    recorder = None
     for rate in rates:
+        # Trace the highest-rate point: the most interesting tail, and
+        # one recorder per run keeps the trace a single coherent axis.
+        trace_this = args.trace is not None and rate == rates[-1]
+        if trace_this:
+            from repro.obs import TraceRecorder
+
+            recorder = TraceRecorder()
         costs = harness.run_service(
             rate,
             n_requests=args.requests,
@@ -550,6 +606,7 @@ def run_serve_sim(args) -> int:
             update_fraction=args.update_fraction,
             pin=args.pin,
             prefetch=args.prefetch,
+            trace_recorder=recorder if trace_this else None,
         )
         stats = costs.stats
         table.add_row(
@@ -568,6 +625,26 @@ def run_serve_sim(args) -> int:
             "\nEvery batch's results verified identical to direct "
             "pipeline/batch-executor application. OK"
         )
+    if recorder is not None:
+        from repro.obs import write_trace
+
+        write_trace(recorder, args.trace)
+        print(
+            f"\nWrote trace of the {rates[-1]:.0f} req/s point to "
+            f"{args.trace} (open at https://ui.perfetto.dev)"
+        )
+    return 0
+
+
+def run_trace_report(args) -> int:
+    from repro.obs import load_trace, render_trace_report
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.path}: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace_report(trace))
     return 0
 
 
@@ -672,6 +749,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": run_experiment,
         "report": run_report,
         "cost-model": run_cost_model,
+        "trace-report": run_trace_report,
     }
     return handlers[args.command](args)
 

@@ -32,7 +32,6 @@ I/O costs differ (measured in ``benchmarks/bench_ablations.py``).
 from __future__ import annotations
 
 import heapq
-import time
 from collections import defaultdict
 from typing import Protocol
 
@@ -42,6 +41,7 @@ from repro.core.sequencing import (
     EncodingReport,
     assign_sequence_values,
 )
+from repro.obs.timer import timer
 from repro.policy.store import PolicyStore
 
 #: Components larger than this fall back to BFS ordering inside the
@@ -126,7 +126,7 @@ class BFSEncoder:
     def encode(
         self, users: list[int], store: PolicyStore, space_area: float
     ) -> EncodingReport:
-        started = time.perf_counter()
+        watch = timer()
         degree, adjacency = _compatibility_graph(users, store, space_area)
 
         seeds = sorted(users, key=lambda uid: -len(adjacency.get(uid, ())))
@@ -158,7 +158,7 @@ class BFSEncoder:
                             frontier, (-_edge(degree, uid, peer), peer)
                         )
 
-        elapsed = time.perf_counter() - started
+        elapsed = watch.stop()
         return EncodingReport(
             sequence_values=values,
             elapsed_seconds=elapsed,
@@ -196,7 +196,7 @@ class SpectralEncoder:
     def encode(
         self, users: list[int], store: PolicyStore, space_area: float
     ) -> EncodingReport:
-        started = time.perf_counter()
+        watch = timer()
         degree, adjacency = _compatibility_graph(users, store, space_area)
 
         components = _connected_components(users, adjacency)
@@ -216,7 +216,7 @@ class SpectralEncoder:
                 cursor += step
                 values[uid] = cursor
 
-        elapsed = time.perf_counter() - started
+        elapsed = watch.stop()
         return EncodingReport(
             sequence_values=values,
             elapsed_seconds=elapsed,

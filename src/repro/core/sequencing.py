@@ -23,10 +23,10 @@ duration so the Figure 11 preprocessing experiment can be regenerated.
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.timer import timer
 from repro.policy.store import PolicyStore
 
 #: Paper defaults: "Let the initial sequence value be 2 and also let δ = 2."
@@ -79,7 +79,7 @@ def assign_sequence_values(
     if delta <= 1.0:
         raise ValueError(f"delta must exceed 1, got {delta}")
 
-    started = time.perf_counter()
+    watch = timer()
 
     # Lines 1-4 of Figure 5: compatibility per related pair, groups G(u).
     # The comparison dispatches through the store so multi-policy
@@ -112,7 +112,7 @@ def assign_sequence_values(
                     sequence_values[member] = leader_sv + (1.0 - degree[pair])
         previous_sv = sequence_values[uid]
 
-    elapsed = time.perf_counter() - started
+    elapsed = watch.stop()
     return EncodingReport(
         sequence_values=sequence_values,
         elapsed_seconds=elapsed,

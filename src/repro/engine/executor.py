@@ -127,6 +127,35 @@ class ExecutionStats:
             return 0.0
         return self.dead_entries / self.entries_prefetched
 
+    def publish(self, registry, **labels) -> None:
+        """Publish this execution into a ``MetricsRegistry``.
+
+        Names follow the ``engine.<field>`` convention documented in
+        ``docs/OBSERVABILITY.md``; nested shard/fault stats publish
+        under their own prefixes with the same labels.
+        """
+        registry.counter("engine.bands_requested", self.bands_requested, **labels)
+        registry.counter("engine.bands_scanned", self.bands_scanned, **labels)
+        registry.counter("engine.bands_deduped", self.bands_deduped, **labels)
+        registry.counter(
+            "engine.candidates_examined", self.candidates_examined, **labels
+        )
+        registry.counter("engine.physical_reads", self.physical_reads, **labels)
+        registry.counter(
+            "engine.entries_prefetched", self.entries_prefetched, **labels
+        )
+        registry.counter("engine.dead_entries", self.dead_entries, **labels)
+        registry.counter("engine.memo_evictions", self.memo_evictions, **labels)
+        registry.counter("engine.seeks", self.seeks, **labels)
+        registry.counter("engine.sequential_hits", self.sequential_hits, **labels)
+        registry.gauge("engine.virtual_time_us", self.virtual_time_us, **labels)
+        registry.gauge("engine.dedup_ratio", self.dedup_ratio, **labels)
+        registry.gauge("engine.overscan_ratio", self.overscan_ratio, **labels)
+        if self.shard_stats is not None:
+            self.shard_stats.publish(registry, **labels)
+        if self.fault_stats is not None:
+            self.fault_stats.publish(registry, **labels)
+
 
 @dataclass
 class RangeExecution:
@@ -377,6 +406,8 @@ class QueryEngine:
         latency = getattr(self.tree.stats, "latency", None)
         seeks_before = latency.seeks if latency is not None else 0
         seq_before = latency.sequential_hits if latency is not None else 0
+        recorder = getattr(self.tree, "trace_recorder", None)
+        tracing = recorder is not None and recorder.enabled
         if prefetch:
             def firm_bands():
                 for plan in plans:
@@ -384,9 +415,35 @@ class QueryEngine:
                         for planned in plan.bands:
                             yield planned.band
 
+            if tracing:
+                t_scan0 = clock.cursor() if clock is not None else 0.0
+                recorder.instant(
+                    "engine/scan",
+                    "plan",
+                    t_scan0,
+                    category="engine",
+                    args={
+                        "specs": len(specs),
+                        "knn_probe_bands": len(probe_bands),
+                    },
+                )
             scanner.prefetch(firm_bands(), speculative=probe_bands)
+            if tracing:
+                recorder.span(
+                    "engine/scan",
+                    "scan.prefetch",
+                    t_scan0,
+                    clock.cursor() if clock is not None else 0.0,
+                    category="engine",
+                    args={
+                        "entries_prefetched": scanner.entries_prefetched,
+                        "physical_scans": scanner.physical_scans,
+                    },
+                )
 
         report = BatchReport()
+        if tracing:
+            t_replay0 = clock.cursor() if clock is not None else 0.0
         self._begin_replay(scanner)
         for spec, plan in zip(specs, plans):
             drops_before = self._drop_marker(scanner)
@@ -408,6 +465,18 @@ class QueryEngine:
             report.results.append(result)
             report.degraded.append(self._drop_marker(scanner) > drops_before)
         self._end_replay(scanner)
+        if tracing:
+            recorder.span(
+                "engine/replay",
+                "query.replay",
+                t_replay0,
+                clock.cursor() if clock is not None else 0.0,
+                category="engine",
+                args={
+                    "queries": len(specs),
+                    "candidates": report.stats.candidates_examined,
+                },
+            )
 
         report.stats.bands_requested = scanner.requests
         report.stats.bands_scanned = scanner.physical_scans

@@ -115,6 +115,27 @@ class UpdateStats:
             return 0.0
         return self.in_place_hits / self.ops
 
+    def publish(self, registry, **labels) -> None:
+        """Publish the write path into a ``MetricsRegistry`` as
+        ``update.<field>`` (see ``docs/OBSERVABILITY.md``)."""
+        registry.counter("update.ops", self.ops, **labels)
+        registry.counter("update.in_place_hits", self.in_place_hits, **labels)
+        registry.counter("update.moved", self.moved, **labels)
+        registry.counter("update.inserted", self.inserted, **labels)
+        registry.counter("update.flushes", self.flushes, **labels)
+        registry.counter("update.leaves_visited", self.leaves_visited, **labels)
+        registry.counter("update.descents_saved", self.descents_saved, **labels)
+        registry.counter("update.deferred", self.deferred, **labels)
+        registry.counter("update.physical_reads", self.physical_reads, **labels)
+        registry.counter("update.physical_writes", self.physical_writes, **labels)
+        registry.gauge("update.virtual_time_us", self.virtual_time_us, **labels)
+        registry.gauge("update.io_per_update", self.io_per_update, **labels)
+        registry.gauge("update.in_place_ratio", self.in_place_ratio, **labels)
+        if self.shard_stats is not None:
+            self.shard_stats.publish(registry, **labels)
+        if self.fault_stats is not None:
+            self.fault_stats.publish(registry, **labels)
+
 
 class UpdateBuffer:
     """Accumulates pending states with last-write-wins per user."""
@@ -270,11 +291,28 @@ class UpdatePipeline:
         supervisor = getattr(self.tree, "supervisor", None)
         if supervisor is not None and self._fault_stats_base is None:
             self._fault_stats_base = supervisor.stats.copy()
+        recorder = getattr(self.tree, "trace_recorder", None)
+        tracing = recorder is not None and recorder.enabled
+        if tracing:
+            t_flush0 = clock.cursor() if clock is not None else 0.0
         try:
             result = self.tree.update_batch(batch)
         except BaseException:
             self.buffer.restore(batch)
             raise
+        if tracing:
+            recorder.span(
+                "engine/update",
+                "update.flush",
+                t_flush0,
+                clock.cursor() if clock is not None else 0.0,
+                category="engine",
+                args={
+                    "ops": result.ops,
+                    "batch": len(batch),
+                    "deferred": len(getattr(result, "deferred", None) or ()),
+                },
+            )
         deferred_uids: set[int] = set()
         deferred = getattr(result, "deferred", None)
         if deferred:

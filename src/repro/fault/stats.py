@@ -68,6 +68,20 @@ class FaultStats:
         """True when any result was served incomplete or deferred."""
         return self.bands_dropped > 0 or self.updates_deferred > 0
 
+    def publish(self, registry, **labels) -> None:
+        """Publish into a ``MetricsRegistry`` as ``fault.<field>``."""
+        registry.counter("fault.faults", self.faults, **labels)
+        registry.counter("fault.retries", self.retries, **labels)
+        registry.counter("fault.backoff_us", self.backoff_us, **labels)
+        registry.counter("fault.exhausted", self.exhausted, **labels)
+        registry.counter("fault.quarantines", self.quarantines, **labels)
+        registry.counter("fault.probes", self.probes, **labels)
+        registry.counter("fault.recoveries", self.recoveries, **labels)
+        registry.counter("fault.bands_dropped", self.bands_dropped, **labels)
+        registry.counter(
+            "fault.updates_deferred", self.updates_deferred, **labels
+        )
+
     def snapshot(self) -> dict:
         """JSON-ready form for benchmark reports."""
         return {

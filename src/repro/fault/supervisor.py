@@ -58,6 +58,21 @@ class ShardSupervisor:
         self._lock = threading.RLock()
         self._breakers = [CircuitBreaker(self.breaker_policy) for _ in range(n_shards)]
         self._ticks = 0
+        #: A :class:`repro.obs.trace.TraceRecorder` (set via
+        #: ``attach_recorder``); retries and breaker transitions then
+        #: land on the trace's fault track as instants.  Tracing only
+        #: reads the thread's clock cursor — never the retry RNG.
+        self.recorder = None
+
+    def _mark(self, name: str, shard: int, **extra) -> None:
+        """Emit one fault-track instant at the calling job's cursor."""
+        recorder = self.recorder
+        if recorder is None or not recorder.enabled:
+            return
+        ts = self.clock.cursor() if self.clock is not None else 0.0
+        recorder.instant(
+            "faults", name, ts, category="fault", args={"shard": shard, **extra}
+        )
 
     @property
     def n_shards(self) -> int:
@@ -88,6 +103,7 @@ class ShardSupervisor:
             )
             if probing:
                 self.stats.probes += 1
+                self._mark("breaker.probe", shard)
             return allowed
 
     def run(self, shard: int, fn: Callable[[], T]) -> tuple[bool, "T | None"]:
@@ -106,6 +122,7 @@ class ShardSupervisor:
             except RETRYABLE_ERRORS:
                 with self._lock:
                     self.stats.faults += 1
+                self._mark("fault", shard, attempt=attempt)
                 if attempt >= self.retry.max_attempts:
                     self._record_failure(shard)
                     return False, None
@@ -115,6 +132,7 @@ class ShardSupervisor:
                 with self._lock:
                     self.stats.retries += 1
                     self.stats.backoff_us += backoff
+                self._mark("retry", shard, attempt=attempt, backoff_us=backoff)
                 attempt += 1
             else:
                 self._record_success(shard)
@@ -123,13 +141,19 @@ class ShardSupervisor:
     def _record_failure(self, shard: int) -> None:
         with self._lock:
             self.stats.exhausted += 1
-            if self._breakers[shard].record_failure(self._now_locked()):
+            opened = self._breakers[shard].record_failure(self._now_locked())
+            if opened:
                 self.stats.quarantines += 1
+        if opened:
+            self._mark("breaker.open", shard)
 
     def _record_success(self, shard: int) -> None:
         with self._lock:
-            if self._breakers[shard].record_success():
+            closed = self._breakers[shard].record_success()
+            if closed:
                 self.stats.recoveries += 1
+        if closed:
+            self._mark("breaker.close", shard)
 
     # ------------------------------------------------------------------
     # Quarantine state

@@ -1,0 +1,76 @@
+"""Stopwatches that say which time axis they measure.
+
+The repo runs on two clocks: real wall time (``time.perf_counter``,
+used by the offline encoding/sequencing benchmarks) and simulated
+virtual time (:class:`repro.simio.clock.SimClock`, used by everything
+latency-related).  Ad-hoc ``perf_counter()`` arithmetic made the two
+indistinguishable at call sites; these stopwatches carry an explicit
+``axis`` tag and unit so a measurement can never silently change
+meaning.
+
+Use :func:`timer` for wall-clock sections (seconds) and
+:func:`virtual_timer` for simulated sections (microseconds).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A running wall-clock stopwatch (``axis="wall"``, seconds)."""
+
+    axis = "wall"
+    unit = "seconds"
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+        self._stopped: float | None = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Seconds since start (frozen once :meth:`stop` is called)."""
+        end = self._stopped if self._stopped is not None else time.perf_counter()
+        return end - self._started
+
+    def stop(self) -> float:
+        """Freeze the stopwatch; returns the elapsed seconds."""
+        if self._stopped is None:
+            self._stopped = time.perf_counter()
+        return self.elapsed_seconds
+
+
+class VirtualStopwatch:
+    """A stopwatch over a SimClock horizon (``axis="virtual"``, µs)."""
+
+    axis = "virtual"
+    unit = "microseconds"
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._started = clock.elapsed
+        self._stopped: float | None = None
+
+    @property
+    def elapsed_us(self) -> float:
+        """Virtual µs of horizon growth since start."""
+        end = self._stopped if self._stopped is not None else self._clock.elapsed
+        return end - self._started
+
+    def stop(self) -> float:
+        if self._stopped is None:
+            self._stopped = self._clock.elapsed
+        return self.elapsed_us
+
+
+def timer() -> Stopwatch:
+    """Start and return a wall-clock :class:`Stopwatch`."""
+    return Stopwatch()
+
+
+def virtual_timer(clock) -> VirtualStopwatch:
+    """Start and return a :class:`VirtualStopwatch` over ``clock``."""
+    return VirtualStopwatch(clock)
+
+
+__all__ = ["Stopwatch", "VirtualStopwatch", "timer", "virtual_timer"]

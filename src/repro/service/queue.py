@@ -83,6 +83,9 @@ class DispatchedBatch:
             instant, batch members included (the congestion signal).
         trigger: ``"full"`` (size trigger) or ``"timeout"`` (time
             trigger).
+        trigger_us: the virtual instant the policy trigger fired;
+            ``dispatch_us - trigger_us`` is the extra wait spent on a
+            busy worker (zero when the worker was free).
         shed: requests dropped at this dispatch under the policy's
             ``shed_after_us`` deadline (never served; a batch may be
             empty when everything waiting was shed).
@@ -92,6 +95,7 @@ class DispatchedBatch:
     dispatch_us: float = 0.0
     queue_depth: int = 0
     trigger: str = "full"
+    trigger_us: float = 0.0
     shed: list[ServiceRequest] = field(default_factory=list)
 
     def __len__(self) -> int:
@@ -187,7 +191,9 @@ class RequestQueue:
         # busy join the batch up to the cap.
         self._absorb_until(dispatch_us, batch_cap)
 
-        batch = DispatchedBatch(dispatch_us=dispatch_us, trigger=trigger_kind)
+        batch = DispatchedBatch(
+            dispatch_us=dispatch_us, trigger=trigger_kind, trigger_us=trigger
+        )
         deadline = self.policy.shed_after_us
         if deadline is not None:
             # Pending is in arrival order, so over-deadline requests are

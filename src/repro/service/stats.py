@@ -164,6 +164,66 @@ class ServiceStats:
             return 0.0
         return (self.physical_reads + self.physical_writes) / self.n_requests
 
+    def publish(self, registry, **labels) -> None:
+        """Publish this run into a ``MetricsRegistry`` as
+        ``service.<field>``; per-class sojourn summaries become gauges
+        labelled ``kind=<class>`` (``kind=all`` for the overall one)."""
+        registry.counter("service.requests", self.n_requests, **labels)
+        registry.counter("service.batches", self.n_batches, **labels)
+        registry.counter("service.physical_reads", self.physical_reads, **labels)
+        registry.counter("service.physical_writes", self.physical_writes, **labels)
+        registry.counter("service.shed", self.n_shed, **labels)
+        registry.counter(
+            "service.degraded_queries", self.degraded_queries, **labels
+        )
+        registry.counter(
+            "service.unapplied_updates", self.unapplied_updates, **labels
+        )
+        registry.gauge("service.queue_depth_max", self.queue_depth_max, **labels)
+        registry.gauge("service.queue_depth_mean", self.queue_depth_mean, **labels)
+        registry.gauge(
+            "service.backlog_at_last_arrival",
+            self.backlog_at_last_arrival,
+            **labels,
+        )
+        registry.gauge("service.makespan_us", self.makespan_us, **labels)
+        registry.gauge("service.busy_us", self.busy_us, **labels)
+        registry.gauge("service.utilization", self.utilization, **labels)
+        registry.gauge(
+            "service.throughput_per_sec", self.throughput_per_sec, **labels
+        )
+        registry.gauge("service.saturated", float(self.saturated), **labels)
+        registry.gauge("service.availability", self.availability, **labels)
+        registry.gauge("service.mean_batch_size", self.mean_batch_size, **labels)
+        registry.gauge(
+            "service.reads_per_request", self.reads_per_request, **labels
+        )
+        for kind, summary in [("all", self.overall), *sorted(self.per_class.items())]:
+            registry.gauge(
+                "service.sojourn_count", summary.count, kind=kind, **labels
+            )
+            registry.gauge(
+                "service.sojourn_mean_us", summary.mean_us, kind=kind, **labels
+            )
+            registry.gauge(
+                "service.sojourn_p50_us", summary.p50_us, kind=kind, **labels
+            )
+            registry.gauge(
+                "service.sojourn_p95_us", summary.p95_us, kind=kind, **labels
+            )
+            registry.gauge(
+                "service.sojourn_p99_us", summary.p99_us, kind=kind, **labels
+            )
+            registry.gauge(
+                "service.sojourn_max_us", summary.max_us, kind=kind, **labels
+            )
+        for size, count in sorted(self.batch_size_hist.items()):
+            registry.counter(
+                "service.batch_size", count, size=size, **labels
+            )
+        if self.fault_stats is not None:
+            self.fault_stats.publish(registry, **labels)
+
     def snapshot(self) -> dict:
         """JSON-ready form for benchmark reports."""
         return {

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.engine.executor import QueryEngine
 from repro.engine.updater import UpdatePipeline
+from repro.obs.trace import NULL_RECORDER, record_exemplars
 from repro.service.queue import BatchPolicy, DispatchedBatch, RequestQueue
 from repro.service.stats import ServiceStats, build_stats
 from repro.service.requests import ServiceRequest
@@ -65,6 +66,9 @@ class BatchOutcome:
         degraded: per-query flags in batch order, True when the query
             was answered with a quarantined shard's sub-bands dropped
             (empty without a fault-tolerant deployment).
+        update_finish_us: the instant the batch's update flush came
+            back (== ``dispatch_us`` for a query-only batch), splitting
+            service time into update and query phases for tracing.
     """
 
     requests: list[ServiceRequest]
@@ -77,6 +81,7 @@ class BatchOutcome:
     query_results: list = field(default_factory=list)
     shed: list[ServiceRequest] = field(default_factory=list)
     degraded: list = field(default_factory=list)
+    update_finish_us: float = 0.0
 
     @property
     def updates(self) -> "list[tuple[MovingObject, int]]":
@@ -129,6 +134,10 @@ class SimulatedService:
         policy: the admission/batching policy.
         clock: the virtual clock; defaults to the tree's ``sim_clock``
             (None on untimed storage — admission-only timing).
+        recorder: a :class:`repro.obs.trace.TraceRecorder`; defaults
+            to the tree's ``trace_recorder`` when attached, else the
+            no-op recorder.  Tracing only reads the clock — a traced
+            run is bit-identical to an untraced one.
     """
 
     def __init__(
@@ -137,6 +146,7 @@ class SimulatedService:
         pipeline: UpdatePipeline,
         policy: BatchPolicy | None = None,
         clock=None,
+        recorder=None,
     ):
         if pipeline.tree is not engine.tree:
             raise ValueError("pipeline and engine must share one tree")
@@ -146,6 +156,7 @@ class SimulatedService:
         self.clock = (
             clock if clock is not None else getattr(engine.tree, "sim_clock", None)
         )
+        self.recorder = recorder
 
     def run(self, requests: Sequence[ServiceRequest]) -> ServiceReport:
         """Serve one stamped open-loop stream to completion.
@@ -159,6 +170,15 @@ class SimulatedService:
         queue = RequestQueue(requests, self.policy)
         clock = self.clock
         base = clock.elapsed if clock is not None else 0.0
+        recorder = (
+            self.recorder
+            if self.recorder is not None
+            else getattr(self.engine.tree, "trace_recorder", None)
+        )
+        if recorder is None:
+            recorder = NULL_RECORDER
+        if recorder.enabled:
+            recorder.set_origin(base)
         stats = getattr(self.engine.tree, "stats", None)
         reads_before = stats.physical_reads if stats is not None else 0
         writes_before = stats.physical_writes if stats is not None else 0
@@ -179,6 +199,8 @@ class SimulatedService:
                 continue
             outcome = self._serve(batch, base)
             free_at = outcome.finish_us
+            if recorder.enabled:
+                self._trace_batch(recorder, batch, outcome, base)
             report.batches.append(outcome)
             for request in outcome.requests:
                 report.records.append(
@@ -213,7 +235,79 @@ class SimulatedService:
                 else None
             ),
         )
+        if recorder.enabled:
+            record_exemplars(recorder, report.records, offset=base)
+            recorder.metadata("service_stats", report.stats.snapshot())
         return report
+
+    @staticmethod
+    def _trace_batch(recorder, batch: DispatchedBatch, outcome, base: float):
+        """Emit one served batch's spans, instants, and request flows.
+
+        Pure observation: every timestamp was already computed by the
+        serving path; nothing here touches the clock.
+        """
+        dispatch = base + outcome.dispatch_us
+        finish = base + outcome.finish_us
+        oldest = base + min(
+            request.arrival_us for request in outcome.requests
+        )
+        recorder.span(
+            "queue",
+            "queue.wait",
+            oldest,
+            dispatch,
+            category="service",
+            args={
+                "n_requests": len(outcome.requests),
+                "trigger": outcome.trigger,
+                "queue_depth": outcome.queue_depth,
+                "wait_on_worker_us": outcome.dispatch_us - batch.trigger_us,
+            },
+        )
+        recorder.span(
+            "worker",
+            "batch.serve",
+            dispatch,
+            finish,
+            category="service",
+            args={
+                "n_updates": outcome.n_updates,
+                "n_queries": outcome.n_queries,
+                "trigger": outcome.trigger,
+                "queue_depth": outcome.queue_depth,
+            },
+        )
+        if outcome.n_updates:
+            recorder.span(
+                "worker",
+                "batch.updates",
+                dispatch,
+                base + outcome.update_finish_us,
+                category="service",
+                args={"n_updates": outcome.n_updates},
+            )
+        for request in outcome.requests:
+            arrival = base + request.arrival_us
+            recorder.span(
+                "requests",
+                f"req.{request.kind}",
+                arrival,
+                arrival,
+                category="request",
+                args={"seq": request.seq},
+            )
+            recorder.flow("s", request.seq, "requests", arrival)
+            recorder.flow("t", request.seq, "worker", dispatch)
+            recorder.flow("f", request.seq, "worker", finish)
+        for request in outcome.shed:
+            recorder.instant(
+                "queue",
+                "shed",
+                dispatch,
+                category="service",
+                args={"seq": request.seq, "kind": request.kind},
+            )
 
     def _serve(self, batch: DispatchedBatch, base: float) -> BatchOutcome:
         """Apply one batch — updates first, then queries — and time it.
@@ -247,6 +341,9 @@ class SimulatedService:
         if updates:
             self.pipeline.extend(updates)
             self.pipeline.flush()
+        outcome.update_finish_us = (
+            clock.cursor() - base if clock is not None else batch.dispatch_us
+        )
         if query_specs:
             engine_report = self.engine.execute_batch(query_specs)
             outcome.query_results = list(engine_report.results)

@@ -269,7 +269,14 @@ class ShardScatterScanner:
                 )
                 for shard, subs, spec in jobs
             ]
-        _, ends = self.scheduler.run_timed(thunks)
+        recorder = getattr(self.tree, "trace_recorder", None)
+        _, ends = self.scheduler.run_timed(
+            thunks,
+            recorder=recorder,
+            span_name="scan.shard",
+            labels=[f"shard{shard}" for shard, _, _ in jobs],
+            category="device",
+        )
         if clock is not None:
             self.shard_ends = {
                 shard: end for (shard, _, _), end in zip(jobs, ends)
@@ -394,6 +401,19 @@ class ShardedQueryEngine(QueryEngine):
     def _end_replay(self, scanner) -> None:
         clock, _ = self._timing()
         if clock is not None and self._cpu_cursor is not None:
+            recorder = getattr(self.tree, "trace_recorder", None)
+            if recorder is not None and recorder.enabled:
+                # The CPU verification window: forked at the prefetch
+                # base, landing possibly before (or after) the slowest
+                # shard scan — the pipelining the paper's Section 5.3
+                # describes, made visible.
+                recorder.span(
+                    "engine/verify",
+                    "verify.pipeline",
+                    scanner.prefetch_base,
+                    self._cpu_cursor,
+                    category="engine",
+                )
             clock.join([self._cpu_cursor])
 
     def _finish_batch_stats(self, report: BatchReport) -> None:

@@ -93,6 +93,27 @@ class ShardStats:
             ),
         )
 
+    def publish(self, registry, **labels) -> None:
+        """Publish into a ``MetricsRegistry`` as ``shard.<field>``;
+        the per-shard tuples become series labelled ``shard=<i>``."""
+        for shard in range(self.n_shards):
+            registry.gauge(
+                "shard.entries", self.entries[shard], shard=shard, **labels
+            )
+            registry.counter(
+                "shard.physical_reads",
+                self.physical_reads[shard],
+                shard=shard,
+                **labels,
+            )
+            registry.counter(
+                "shard.physical_writes",
+                self.physical_writes[shard],
+                shard=shard,
+                **labels,
+            )
+        registry.gauge("shard.balance_skew", self.balance_skew, **labels)
+
     def snapshot(self) -> dict:
         """JSON-ready form for benchmark reports."""
         return {

@@ -135,6 +135,9 @@ class ShardedPEBTree:
             )
         #: Attached by :class:`repro.shard.recovery.ShardCheckpointer`.
         self.checkpointer = None
+        #: Attached via :func:`repro.obs.trace.attach_recorder`; layers
+        #: discover it with ``getattr(tree, "trace_recorder", None)``.
+        self.trace_recorder = None
 
     @classmethod
     def build(
@@ -438,11 +441,16 @@ class ShardedPEBTree:
                     visited += batch_stats.leaves_visited
             return visited
 
-        jobs = [
-            (lambda shard=shard: sweep(shard))
-            for shard in sorted(set(old_runs) | set(new_runs))
-        ]
-        for visited in self.io.run(jobs):
+        shards = sorted(set(old_runs) | set(new_runs))
+        jobs = [(lambda shard=shard: sweep(shard)) for shard in shards]
+        visits, _ = self.io.run_timed(
+            jobs,
+            recorder=self.trace_recorder,
+            span_name="update.sweep",
+            labels=[f"shard{shard}" for shard in shards],
+            category="device",
+        )
+        for visited in visits:
             result.leaves_visited += visited
 
     def _apply_runs_supervised(
@@ -513,7 +521,14 @@ class ShardedPEBTree:
             for shard in active
         ]
         dead = set(denied)
-        for shard, ok, visited in self.io.run(jobs):
+        outcomes, _ = self.io.run_timed(
+            jobs,
+            recorder=self.trace_recorder,
+            span_name="update.sweep",
+            labels=[f"shard{shard}" for shard in active],
+            category="device",
+        )
+        for shard, ok, visited in outcomes:
             if ok:
                 result.leaves_visited += visited
             elif sweep_states[shard]["visited"] is not None:

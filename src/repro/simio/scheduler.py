@@ -73,7 +73,12 @@ class IOScheduler:
         return results
 
     def run_timed(
-        self, jobs: Sequence[Callable[[], T]]
+        self,
+        jobs: Sequence[Callable[[], T]],
+        recorder=None,
+        span_name: str = "job",
+        labels: Sequence[str] | None = None,
+        category: str = "io",
     ) -> tuple[list[T], list[float]]:
         """Run every job; returns ``(results, per-job virtual end times)``.
 
@@ -82,6 +87,14 @@ class IOScheduler:
         finished first while the slowest shard is still scanning)
         instead of the join barrier.  Without a clock the end times are
         all 0.0.
+
+        When ``recorder`` (a :class:`repro.obs.trace.TraceRecorder`) is
+        enabled and a clock is attached, each job emits one span
+        ``[fork base, its end]`` named ``span_name`` on the track
+        ``labels[i]`` — the fork/join shape makes the per-job interval
+        exact, so both scatter prefetches and update sweeps get their
+        per-device tracks from this one site.  Failed jobs still emit
+        (their time passed) before the failure re-raises.
         """
         jobs = list(jobs)
         if not jobs:
@@ -115,6 +128,9 @@ class IOScheduler:
         ends = [end for _, _, end in outcomes]
         if clock is not None:
             clock.join(ends)
+            if recorder is not None and recorder.enabled and labels is not None:
+                for label, end in zip(labels, ends):
+                    recorder.span(label, span_name, base, end, category=category)
         for _, failure, _ in outcomes:
             if failure is not None:
                 raise failure

@@ -95,6 +95,10 @@ class LatencyStats:
             "sequential_ratio": self.sequential_ratio,
         }
 
+    def publish(self, registry, **labels) -> None:
+        """Publish into a ``MetricsRegistry`` as ``device.<field>``."""
+        _publish_latency(self, registry, labels)
+
 
 class LatencyView:
     """A live aggregate over several :class:`LatencyStats` bundles.
@@ -167,6 +171,21 @@ class LatencyView:
             "sequential_hits": self.sequential_hits,
             "sequential_ratio": self.sequential_ratio,
         }
+
+    def publish(self, registry, **labels) -> None:
+        """Publish the aggregate (same ``device.<field>`` names)."""
+        _publish_latency(self, registry, labels)
+
+
+def _publish_latency(stats, registry, labels: dict) -> None:
+    registry.counter("device.reads", stats.reads, **labels)
+    registry.counter("device.writes", stats.writes, **labels)
+    registry.counter("device.read_us", stats.read_us, **labels)
+    registry.counter("device.write_us", stats.write_us, **labels)
+    registry.counter("device.seeks", stats.seeks, **labels)
+    registry.counter("device.sequential_hits", stats.sequential_hits, **labels)
+    registry.gauge("device.busy_us", stats.busy_us, **labels)
+    registry.gauge("device.sequential_ratio", stats.sequential_ratio, **labels)
 
 
 __all__ = ["LatencyStats", "LatencyView"]

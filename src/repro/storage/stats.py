@@ -84,6 +84,14 @@ class IOStats:
             "logical_writes": self.logical_writes,
         }
 
+    def publish(self, registry, **labels) -> None:
+        """Publish into a ``MetricsRegistry`` as ``io.<field>``."""
+        registry.counter("io.physical_reads", self.physical_reads, **labels)
+        registry.counter("io.physical_writes", self.physical_writes, **labels)
+        registry.counter("io.logical_reads", self.logical_reads, **labels)
+        registry.counter("io.logical_writes", self.logical_writes, **labels)
+        registry.gauge("io.hit_ratio", self.hit_ratio, **labels)
+
 
 class StatsView:
     """A live aggregate over several :class:`IOStats` bundles.
@@ -170,6 +178,17 @@ class StatsView:
         if self.latency is not None:
             merged["latency"] = self.latency.snapshot()
         return merged
+
+    def publish(self, registry, **labels) -> None:
+        """Publish the merged counters (same ``io.<field>`` names a
+        single bundle uses; the latency aggregate rides along)."""
+        registry.counter("io.physical_reads", self.physical_reads, **labels)
+        registry.counter("io.physical_writes", self.physical_writes, **labels)
+        registry.counter("io.logical_reads", self.logical_reads, **labels)
+        registry.counter("io.logical_writes", self.logical_writes, **labels)
+        registry.gauge("io.hit_ratio", self.hit_ratio, **labels)
+        if self.latency is not None and hasattr(self.latency, "publish"):
+            self.latency.publish(registry, **labels)
 
 
 def merge_stats(parts: Iterable[IOStats], latency=None) -> StatsView:
